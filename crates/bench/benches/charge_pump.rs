@@ -1,0 +1,30 @@
+//! Microbench: the Dickson charge-pump transient solver (Fig. 3).
+
+use braidio_circuits::DicksonChargePump;
+use braidio_units::Hertz;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_pump(c: &mut Criterion) {
+    let single = DicksonChargePump::fig3_single_stage();
+    c.bench_function("pump_transient_10_cycles_1_stage", |b| {
+        b.iter(|| single.transient_sine(black_box(1.0), Hertz::from_mhz(1.0), 10.0))
+    });
+
+    let four = DicksonChargePump::multi_stage(4);
+    c.bench_function("pump_transient_10_cycles_4_stage", |b| {
+        b.iter(|| four.transient_sine(black_box(1.0), Hertz::from_mhz(1.0), 10.0))
+    });
+
+    c.bench_function("pump_small_signal_model", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc += four.small_signal_output(black_box(i as f64 * 1e-4));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_pump);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Microbench: the Eq. 1 carrier-offload solver.
+//!
+//! The solver runs on every re-plan (per probe round / SNR change), so it
+//! must be cheap enough for a microcontroller-class duty cycle.
+
+use braidio_mac::offload::{options_at, solve};
+use braidio_radio::characterization::Characterization;
+use braidio_units::{Joules, Meters};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_solver(c: &mut Criterion) {
+    let ch = Characterization::braidio();
+    let opts = options_at(&ch, Meters::new(0.3));
+    let e1 = Joules::from_watt_hours(6.55);
+    let e2 = Joules::from_watt_hours(0.78);
+
+    c.bench_function("offload_solve_3_options", |b| {
+        b.iter(|| solve(black_box(&opts), black_box(e1), black_box(e2)))
+    });
+
+    let opts_far = options_at(&ch, Meters::new(3.0));
+    c.bench_function("offload_solve_2_options", |b| {
+        b.iter(|| solve(black_box(&opts_far), black_box(e1), black_box(e2)))
+    });
+
+    c.bench_function("options_at_includes_ber", |b| {
+        b.iter(|| options_at(black_box(&ch), black_box(Meters::new(1.5))))
+    });
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Experiment runner: regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! ```text
+//! experiments all          # everything, in paper order
+//! experiments list         # show available experiment ids
+//! experiments fig15 fig16  # a subset
+//! ```
+
+use braidio_bench::ALL;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return;
+    }
+    if args.iter().any(|a| a == "list") {
+        for (name, _) in ALL {
+            println!("{name}");
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "all") {
+        for (_, run) in ALL {
+            run();
+        }
+        return;
+    }
+    for arg in &args {
+        match ALL.iter().find(|(name, _)| name == arg) {
+            Some((_, run)) => run(),
+            None => {
+                eprintln!("unknown experiment '{arg}' — try 'list'");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: experiments <all | list | fig1 fig3 fig4 fig6 fig9 fig12..fig18 | table1 table2 table3 table5 | ablation>"
+    );
+    eprintln!();
+    eprintln!("Regenerates the tables and figures of the Braidio paper (SIGCOMM'16)");
+    eprintln!("from the simulation models in this workspace. See EXPERIMENTS.md for");
+    eprintln!("the paper-vs-measured record.");
+}

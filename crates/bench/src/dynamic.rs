@@ -1,0 +1,60 @@
+//! Dynamic scenario: the pair moves while transferring.
+//!
+//! Not a paper figure — the paper's matrices assume a fixed separation —
+//! but §4.2's re-planning machinery exists precisely for mobility, so this
+//! experiment quantifies it: a wearable streams to a phone while the wearer
+//! wanders around a room (bounded random walk, 0.3–4 m), crossing the
+//! regime A/B boundary repeatedly.
+
+use crate::render::banner;
+use braidio_mac::mobility::{MobilityTrace, RandomWalk, Static};
+use braidio_mac::sim::{simulate_mobile_transfer, simulate_transfer, Policy, TransferSetup};
+use braidio_radio::Mode;
+use braidio_units::{Meters, Seconds};
+
+/// Run the dynamic scenario.
+pub fn run() {
+    banner(
+        "Dynamic scenario",
+        "Random walk 0.3–4 m while a 3 mWh wearable streams to a 30 mWh phone share",
+    );
+    // Battery slices sized so the transfer spans minutes of walking.
+    let setup = TransferSetup::new(0.003, 0.03, Policy::Braidio);
+
+    println!(
+        "{:>16} {:>14} {:>10} {:>28}",
+        "trace", "bits", "lifetime", "mode mix (A/P/B %)"
+    );
+    let print_row = |label: &str, trace: &mut dyn MobilityTrace| {
+        let r = simulate_mobile_transfer(&setup, trace, Seconds::new(1.0));
+        println!(
+            "{:>16} {:>14.3e} {:>10} {:>10.1} {:>7.1} {:>7.1}",
+            label,
+            r.bits,
+            format!("{}", r.duration),
+            100.0 * r.mode_share(Mode::Active),
+            100.0 * r.mode_share(Mode::Passive),
+            100.0 * r.mode_share(Mode::Backscatter),
+        );
+    };
+    print_row("static 0.5 m", &mut Static(Meters::new(0.5)));
+    print_row("static 3.0 m", &mut Static(Meters::new(3.0)));
+    for seed in [1u64, 2, 3] {
+        print_row(&format!("walk (seed {seed})"), &mut RandomWalk::room(seed));
+    }
+
+    // Baseline: Bluetooth doesn't care about the walk (active mode covers
+    // the whole room), so its bits equal the static case.
+    let bt = simulate_transfer(&TransferSetup::new(0.003, 0.03, Policy::Bluetooth));
+    println!("{:>16} {:>14.3e} {:>10}", "bluetooth (any)", bt.bits, format!("{}", bt.duration));
+    println!("\nthe walking pair lands between the static extremes: every re-plan at a regime");
+    println!("crossing re-braids the link, keeping the gain over Bluetooth even in motion.");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs() {
+        super::run();
+    }
+}

@@ -1,0 +1,26 @@
+//! Figure 1: battery capacity of mobile devices (log scale).
+
+use crate::render::banner;
+use braidio_radio::devices::CATALOG;
+
+/// Regenerate Figure 1.
+pub fn run() {
+    banner("Figure 1", "Battery capacity for mobile devices (Wh, log scale)");
+    let max = CATALOG.last().expect("catalog").battery_wh;
+    for d in CATALOG.iter() {
+        // Log-scale bar from 0.1 Wh to the max.
+        let t = ((d.battery_wh / 0.1).ln() / (max / 0.1).ln()).clamp(0.0, 1.0);
+        let bar = "#".repeat((t * 48.0).round() as usize);
+        println!("{:>16} {:>8.2} Wh |{bar}", d.name, d.battery_wh);
+    }
+    let ratio = max / CATALOG[0].battery_wh;
+    println!("\nlaptop : fitness-band capacity ratio = {ratio:.0}x (paper: ~three orders of magnitude)");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs() {
+        super::run();
+    }
+}

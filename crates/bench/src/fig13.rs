@@ -1,0 +1,78 @@
+//! Figure 13: BER over distance for the backscatter and passive-receiver
+//! modes at 10 kbps / 100 kbps / 1 Mbps.
+
+use crate::render::banner;
+use braidio_radio::characterization::{Characterization, Rate};
+use braidio_radio::Mode;
+use braidio_units::Meters;
+
+/// Regenerate Figure 13.
+pub fn run() {
+    banner(
+        "Figure 13",
+        "BER vs distance for backscatter and passive modes at three bitrates",
+    );
+    let ch = Characterization::braidio();
+    let configs = [
+        (Mode::Backscatter, Rate::Mbps1),
+        (Mode::Backscatter, Rate::Kbps100),
+        (Mode::Backscatter, Rate::Kbps10),
+        (Mode::Passive, Rate::Mbps1),
+        (Mode::Passive, Rate::Kbps100),
+        (Mode::Passive, Rate::Kbps10),
+    ];
+
+    print!("{:>7}", "d (m)");
+    for (m, r) in configs {
+        print!(
+            " {:>13}",
+            format!("{}@{}", &m.label()[..4.min(m.label().len())], r.label())
+        );
+    }
+    println!();
+    for i in 0..=24 {
+        let d = Meters::new(0.25 * i as f64);
+        print!("{:>7.2}", d.meters());
+        for (m, r) in configs {
+            print!(" {:>13.3e}", ch.ber(m, r, d));
+        }
+        println!();
+    }
+
+    println!("\noperational ranges (BER < 1e-2):");
+    for (m, r) in configs {
+        let range = ch.range(m, r).expect("in range somewhere");
+        println!("  {:>12}@{:<4}  {:.2} m", m.label(), r.label(), range.meters());
+    }
+    println!("(paper anchors: backscatter 0.9/1.8/2.4 m; passive 3.9/4.2/5.1 m; active > 6 m)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs() {
+        super::run();
+    }
+
+    #[test]
+    fn curve_family_is_ordered_like_the_paper() {
+        // At any distance, within a mode, slower rates have lower BER; and
+        // passive beats backscatter at every rate past the near field.
+        let ch = Characterization::braidio();
+        for d in [1.0, 2.0, 3.0] {
+            let dist = Meters::new(d);
+            for mode in [Mode::Backscatter, Mode::Passive] {
+                let b1m = ch.ber(mode, Rate::Mbps1, dist);
+                let b100k = ch.ber(mode, Rate::Kbps100, dist);
+                let b10k = ch.ber(mode, Rate::Kbps10, dist);
+                assert!(b1m >= b100k && b100k >= b10k, "{mode:?} at {d} m");
+            }
+            assert!(
+                ch.ber(Mode::Passive, Rate::Kbps100, dist)
+                    <= ch.ber(Mode::Backscatter, Rate::Kbps100, dist)
+            );
+        }
+    }
+}

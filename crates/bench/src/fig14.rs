@@ -1,0 +1,60 @@
+//! Figure 14: energy efficiency and dynamic range at different distances —
+//! how the feasible triangle deforms and collapses as the pair separates.
+
+use crate::render::banner;
+use braidio_mac::offload::options_at;
+use braidio_mac::Regime;
+use braidio_radio::characterization::Characterization;
+use braidio_radio::Mode;
+use braidio_units::Meters;
+
+fn ratio_label(asym: f64) -> String {
+    if asym >= 1.0 {
+        format!("{:.0}:1", asym)
+    } else {
+        format!("1:{:.0}", 1.0 / asym)
+    }
+}
+
+/// Regenerate Figure 14.
+pub fn run() {
+    banner(
+        "Figure 14",
+        "Efficiency corners and achievable asymmetry vs distance",
+    );
+    let ch = Characterization::braidio();
+    println!(
+        "{:>8} {:>7} {:>28} {:>28} {:>15}",
+        "d (m)", "regime", "passive corner (rate, T:R)", "backscatter corner", "active corner"
+    );
+    for d in [0.3, 0.6, 0.9, 1.2, 1.8, 2.4, 2.7, 3.9, 4.2, 4.8, 5.1, 6.0] {
+        let dist = Meters::new(d);
+        let opts = options_at(&ch, dist);
+        let corner = |mode: Mode| {
+            opts.iter()
+                .find(|o| o.mode == mode)
+                .map(|o| format!("{:>5} {:>12}", o.rate.label(), ratio_label(o.asymmetry())))
+                .unwrap_or_else(|| "unavailable".to_string())
+        };
+        println!(
+            "{:>8.1} {:>7} {:>28} {:>28} {:>15}",
+            d,
+            format!("{:?}", Regime::classify(&ch, dist)),
+            corner(Mode::Passive),
+            corner(Mode::Backscatter),
+            corner(Mode::Active)
+        );
+    }
+    println!("\npaper corner labels: B 1:2546, C 1:4000, D 1:5600 (passive at 1M/100k/10k);");
+    println!("E 3546:1, F 5571:1, G 7800:1 (backscatter); A 0.9524:1 (active)");
+    println!("note: the paper labels efficiency ratios; TX:RX *power* ratios are their inverses,");
+    println!("printed here per currently-available rate at each distance.");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs() {
+        super::run();
+    }
+}

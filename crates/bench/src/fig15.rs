@@ -1,0 +1,45 @@
+//! Figure 15: performance gain of Braidio over Bluetooth for every device
+//! pair (unidirectional traffic, < 1 m, full batteries).
+
+use crate::render::{banner, device_matrix};
+use braidio_mac::sim::{simulate_transfer, Policy, TransferSetup};
+use braidio_radio::devices::CATALOG;
+
+/// Compute one cell: device `tx` transmits to device `rx` until a battery
+/// dies; the cell is Braidio bits over Bluetooth bits.
+pub fn cell(tx: usize, rx: usize) -> f64 {
+    let (e1, e2) = (CATALOG[tx].battery_wh, CATALOG[rx].battery_wh);
+    let braidio = simulate_transfer(&TransferSetup::new(e1, e2, Policy::Braidio));
+    let bt = simulate_transfer(&TransferSetup::new(e1, e2, Policy::Bluetooth));
+    braidio.bits / bt.bits
+}
+
+/// Regenerate Figure 15.
+pub fn run() {
+    banner(
+        "Figure 15",
+        "Braidio / Bluetooth total-bits gain, device on column transmits to device on row",
+    );
+    device_matrix(cell);
+    println!("\ndiagonal (equal batteries) = {:.2}x (paper: 1.43x)", cell(0, 0));
+    println!(
+        "extreme corners: FuelBand->MBP15 {:.0}x, MBP15->FuelBand {:.0}x (paper: 299x / 397x)",
+        cell(0, 9),
+        cell(9, 0)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn diagonal_is_1_43() {
+        let g = super::cell(3, 3);
+        assert!((g - 1.43).abs() < 0.02, "diagonal {g}");
+    }
+
+    #[test]
+    fn corners_are_hundreds() {
+        assert!(super::cell(0, 9) > 100.0);
+        assert!(super::cell(9, 0) > 100.0);
+    }
+}

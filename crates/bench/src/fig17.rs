@@ -1,0 +1,50 @@
+//! Figure 17: performance gain of Braidio over Bluetooth for
+//! *bidirectional* traffic (equal data both ways).
+
+use crate::render::{banner, device_matrix};
+use braidio_mac::sim::{simulate_transfer, Policy, Traffic, TransferSetup};
+use braidio_radio::devices::CATALOG;
+
+/// One cell of the Fig. 17 matrix.
+pub fn cell(tx: usize, rx: usize) -> f64 {
+    let (e1, e2) = (CATALOG[tx].battery_wh, CATALOG[rx].battery_wh);
+    let braidio = simulate_transfer(
+        &TransferSetup::new(e1, e2, Policy::Braidio).with_traffic(Traffic::Bidirectional),
+    );
+    let bt = simulate_transfer(
+        &TransferSetup::new(e1, e2, Policy::Bluetooth).with_traffic(Traffic::Bidirectional),
+    );
+    braidio.bits / bt.bits
+}
+
+/// Regenerate Figure 17.
+pub fn run() {
+    banner(
+        "Figure 17",
+        "Braidio / Bluetooth gain for bidirectional transfers",
+    );
+    device_matrix(cell);
+    let uni = crate::fig15::cell(0, 9);
+    let bi = cell(0, 9);
+    println!(
+        "\nFuelBand<->MBP15: bidirectional {bi:.0}x vs unidirectional {uni:.0}x — the constrained"
+    );
+    println!("device backscatters when talking and listens passively when receiving, so the");
+    println!("asymmetric pairs do slightly better than Fig. 15 (paper: same observation).");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn diagonal_similar_to_fig15() {
+        let bi = super::cell(2, 2);
+        assert!((bi - 1.43).abs() < 0.05, "bidirectional diagonal {bi}");
+    }
+
+    #[test]
+    fn asymmetric_pair_at_least_unidirectional() {
+        let bi = super::cell(0, 9);
+        let uni = crate::fig15::cell(0, 9);
+        assert!(bi > 0.95 * uni, "bi {bi} vs uni {uni}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 6: effect of antenna diversity on SNR — the λ/8-spaced second
+//! antenna lifts the phase-cancellation nulls.
+
+use crate::render::banner;
+use braidio_rfsim::geometry::Point;
+use braidio_rfsim::phase_cancel::BackscatterScene;
+
+/// Regenerate Figure 6.
+pub fn run() {
+    banner("Figure 6", "Received SNR 0.5–2 m, with and without antenna diversity");
+    let single = BackscatterScene::paper_fig4();
+    let diverse = BackscatterScene::paper_fig4().with_diversity();
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "d (m)", "no diversity", "with diversity"
+    );
+    let mut worst_single = f64::MAX;
+    let mut worst_diverse = f64::MAX;
+    // Tag walks away from the antenna midpoint along the y = 0.5 line.
+    for i in 0..=60 {
+        let d = 0.5 + 1.5 * i as f64 / 60.0;
+        let p = Point::new(1.0 + d, 0.5);
+        let s1 = single.snr(p, 0).db();
+        let s2 = diverse.snr_diversity(p).1.db();
+        worst_single = worst_single.min(s1);
+        worst_diverse = worst_diverse.min(s2);
+        if i % 4 == 0 {
+            println!("{:>8.2} {:>11.1} dB {:>11.1} dB", d, s1, s2);
+        }
+    }
+    println!(
+        "\nworst-case SNR: {worst_single:.1} dB alone vs {worst_diverse:.1} dB with diversity"
+    );
+    println!("(paper: nulls drop to ~0 dB without diversity, stay above ~5 dB with it)");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs() {
+        super::run();
+    }
+}

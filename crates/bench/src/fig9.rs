@@ -1,0 +1,86 @@
+//! Figure 9: the efficiency triangle — TX vs RX bits-per-joule of the
+//! three modes, the feasible region, and the optimal point P for a 100:1
+//! battery pair.
+
+use crate::render::banner;
+use braidio_mac::offload::{options_at, solve};
+use braidio_radio::characterization::Characterization;
+use braidio_radio::Mode;
+use braidio_units::{Joules, Meters};
+
+fn ratio_label(asym: f64) -> String {
+    if asym >= 1.0 {
+        format!("{:.4}:1", asym)
+    } else {
+        format!("1:{:.0}", 1.0 / asym)
+    }
+}
+
+/// Regenerate Figure 9.
+pub fn run() {
+    banner(
+        "Figure 9",
+        "Dynamic range of power assignment (TX vs RX bits per joule)",
+    );
+    let ch = Characterization::braidio();
+    let opts = options_at(&ch, Meters::new(0.3));
+
+    println!(
+        "{:>14} {:>16} {:>16} {:>14}",
+        "corner", "TX bits/J", "RX bits/J", "T:R ratio"
+    );
+    for o in &opts {
+        let label = match o.mode {
+            Mode::Active => "A: Active",
+            Mode::Passive => "B: Passive",
+            Mode::Backscatter => "C: Backscatter",
+        };
+        println!(
+            "{:>14} {:>16.3e} {:>16.3e} {:>14}",
+            label,
+            o.tx_cost.bits_per_joule(),
+            o.rx_cost.bits_per_joule(),
+            ratio_label(o.asymmetry())
+        );
+    }
+
+    // The paper's worked point: a 100:1 battery pair lands on line BC.
+    let plan = solve(
+        &opts,
+        Joules::from_watt_hours(100.0),
+        Joules::from_watt_hours(1.0),
+    )
+    .expect("feasible");
+    println!("\npoint P (battery ratio 100:1, on line BC):");
+    println!(
+        "  TX efficiency {:.3e} bits/J, RX efficiency {:.3e} bits/J",
+        plan.tx_cost.bits_per_joule(),
+        plan.rx_cost.bits_per_joule()
+    );
+    println!(
+        "  braid: passive {:.4}, backscatter {:.4}, active {:.4}",
+        plan.mode_fraction(Mode::Passive),
+        plan.mode_fraction(Mode::Backscatter),
+        plan.mode_fraction(Mode::Active)
+    );
+    println!(
+        "  blended T:R power ratio = {} (target 100:1)",
+        ratio_label(plan.asymmetry())
+    );
+
+    let max = opts.iter().map(|o| o.asymmetry()).fold(f64::MIN, f64::max);
+    let min = opts.iter().map(|o| o.asymmetry()).fold(f64::MAX, f64::min);
+    println!(
+        "\nachievable span: {} .. {}  (paper: 1:2546 .. 3546:1 — seven orders of magnitude)",
+        ratio_label(min),
+        ratio_label(max)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs() {
+        super::run();
+    }
+}

@@ -1,0 +1,93 @@
+//! Day-in-the-life lifetimes: realistic duty-cycled workloads instead of
+//! the saturated transfers of Figs. 15–18.
+//!
+//! A wearable syncs a few megabytes a day and idles the rest; idle
+//! listening then competes with per-bit cost. Braidio wins twice — carrier
+//! offload on the transfer, the passive wake-up receiver while idle.
+
+use crate::render::banner;
+use braidio_mac::duty::DailyWorkload;
+use braidio_mac::offload::solve_at;
+use braidio_radio::characterization::Characterization;
+use braidio_radio::devices::{self, Device};
+use braidio_units::{Joules, Meters};
+
+fn braidio_days(wearable: Device, hub: Device, bits_per_day: f64) -> f64 {
+    let plan = solve_at(
+        &Characterization::braidio(),
+        Meters::new(0.5),
+        Joules::from_watt_hours(wearable.battery_wh),
+        Joules::from_watt_hours(hub.battery_wh),
+    )
+    .expect("in range");
+    DailyWorkload::braidio(&plan, bits_per_day)
+        .lifetime_days(Joules::from_watt_hours(wearable.battery_wh))
+}
+
+fn bluetooth_days(wearable: Device, bits_per_day: f64) -> f64 {
+    DailyWorkload::bluetooth(bits_per_day)
+        .lifetime_days(Joules::from_watt_hours(wearable.battery_wh))
+}
+
+/// Run the lifetime study.
+pub fn run() {
+    banner(
+        "Lifetime",
+        "Radio-subsystem lifetime under daily sync workloads (wearable -> phone, 0.5 m)",
+    );
+    println!(
+        "{:>16} {:>12} {:>14} {:>14} {:>8}",
+        "wearable", "MB/day", "Bluetooth", "Braidio", "gain"
+    );
+    for wearable in [
+        devices::NIKE_FUEL_BAND,
+        devices::PEBBLE_WATCH,
+        devices::APPLE_WATCH,
+        devices::PIVOTHEAD,
+    ] {
+        for mb in [1.0, 20.0, 400.0] {
+            let bits = mb * 8e6;
+            let bt = bluetooth_days(wearable, bits);
+            let br = braidio_days(wearable, devices::IPHONE_6S, bits);
+            println!(
+                "{:>16} {:>12.0} {:>11.1} d {:>11.1} d {:>7.1}x",
+                wearable.name,
+                mb,
+                bt,
+                br,
+                br / bt
+            );
+        }
+    }
+    println!("\n(radio subsystem only, as in §6.3: \"the results only consider the");
+    println!("communication subsystem\". Light workloads are idle-dominated — the wake-up");
+    println!("receiver's 50 µW vs LPL's ~380 µW; heavy workloads are transfer-dominated —");
+    println!("carrier offload's ~0.2 nJ/bit vs Bluetooth's ~87 nJ/bit at the wearable.)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs() {
+        super::run();
+    }
+
+    #[test]
+    fn braidio_always_outlives_bluetooth_here() {
+        for mb in [1.0, 20.0, 400.0] {
+            let bits = mb * 8e6;
+            let bt = bluetooth_days(devices::APPLE_WATCH, bits);
+            let br = braidio_days(devices::APPLE_WATCH, devices::IPHONE_6S, bits);
+            assert!(br > bt, "{mb} MB/day: {br} vs {bt}");
+        }
+    }
+
+    #[test]
+    fn heavier_workloads_shorten_life() {
+        let light = braidio_days(devices::APPLE_WATCH, devices::IPHONE_6S, 8e6);
+        let heavy = braidio_days(devices::APPLE_WATCH, devices::IPHONE_6S, 8e8);
+        assert!(light > heavy);
+    }
+}

@@ -1,0 +1,35 @@
+//! Table 1: transmitter/receiver power ratio of Bluetooth and BLE chips.
+
+use crate::render::banner;
+use braidio_radio::bluetooth::BluetoothChip;
+
+/// Regenerate Table 1.
+pub fn run() {
+    banner("Table 1", "TX/RX power ratio of Bluetooth and BLE chips");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "chip", "transmit", "receive", "TX/RX ratio"
+    );
+    for chip in BluetoothChip::table1() {
+        let (lo, hi) = chip.ratio_range();
+        println!(
+            "{:>8} {:>5.0}~{:<4.0}mW {:>5.0}~{:<4.0}mW {:>8.2}~{:<.2}",
+            chip.name,
+            chip.tx.0.milliwatts(),
+            chip.tx.1.milliwatts(),
+            chip.rx.0.milliwatts(),
+            chip.rx.1.milliwatts(),
+            lo,
+            hi
+        );
+    }
+    println!("\n=> a dynamic range of ~2x, against three orders of magnitude of battery asymmetry");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs() {
+        super::run();
+    }
+}

@@ -1,0 +1,151 @@
+//! Attack/decay envelope detector.
+//!
+//! The passive receiver extracts the envelope of the incident RF: a diode
+//! charges a capacitor quickly (attack, through the diode's on-resistance)
+//! and the capacitor discharges slowly through the bias resistor (decay).
+//! The baseband Monte-Carlo demodulator in `braidio-phy` feeds OOK envelope
+//! amplitudes through this model, so the detector's finite bandwidth — the
+//! reason Braidio had to "reduce Cs and Cp to improve bitrate" on the
+//! Moo/WISP front end (Table 4) — shows up as inter-symbol interference at
+//! high bitrates.
+
+use braidio_units::Seconds;
+
+/// First-order attack/decay envelope follower.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvelopeDetector {
+    /// Charge time constant (diode conducting), seconds.
+    pub attack: Seconds,
+    /// Discharge time constant (diode blocking), seconds.
+    pub decay: Seconds,
+}
+
+impl EnvelopeDetector {
+    /// Create a detector; both time constants must be positive and the
+    /// attack must not be slower than the decay.
+    pub fn new(attack: Seconds, decay: Seconds) -> Self {
+        assert!(attack.seconds() > 0.0 && decay.seconds() > 0.0);
+        assert!(
+            attack <= decay,
+            "attack must be at least as fast as decay (diode charges faster than R discharges)"
+        );
+        EnvelopeDetector { attack, decay }
+    }
+
+    /// The original Moo/WISP front end, tuned for ~100 kbps downlink.
+    pub fn wisp_stock() -> Self {
+        EnvelopeDetector::new(Seconds::from_micros(0.4), Seconds::from_micros(4.0))
+    }
+
+    /// Braidio's re-tuned front end ("Reduced Cs and Cp to improve
+    /// bitrate", Table 4) — fast enough for 1 Mbps OOK.
+    pub fn braidio_fast() -> Self {
+        EnvelopeDetector::new(Seconds::from_micros(0.08), Seconds::from_micros(0.8))
+    }
+
+    /// Run the follower over envelope samples spaced `dt` apart.
+    pub fn run(&self, samples: &[f64], dt: Seconds) -> Vec<f64> {
+        let a_up = 1.0 - (-dt.seconds() / self.attack.seconds()).exp();
+        let a_dn = 1.0 - (-dt.seconds() / self.decay.seconds()).exp();
+        let mut y = 0.0f64;
+        samples
+            .iter()
+            .map(|&x| {
+                let alpha = if x > y { a_up } else { a_dn };
+                y += alpha * (x - y);
+                y
+            })
+            .collect()
+    }
+
+    /// Approximate -3 dB envelope bandwidth in hertz, limited by the slower
+    /// (decay) time constant.
+    pub fn bandwidth_hz(&self) -> f64 {
+        1.0 / (2.0 * core::f64::consts::PI * self.decay.seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(det: &EnvelopeDetector, dt: Seconds, n: usize) -> Vec<f64> {
+        let samples = vec![1.0; n];
+        det.run(&samples, dt)
+    }
+
+    #[test]
+    fn tracks_step_up() {
+        let det = EnvelopeDetector::braidio_fast();
+        let out = step(&det, Seconds::from_micros(0.01), 200);
+        assert!(out[199] > 0.9, "final {}", out[199]);
+        assert!(out[0] < 0.2, "first {}", out[0]);
+    }
+
+    #[test]
+    fn decays_after_release() {
+        let det = EnvelopeDetector::braidio_fast();
+        let mut samples = vec![1.0; 200];
+        samples.extend(vec![0.0; 200]);
+        let out = det.run(&samples, Seconds::from_micros(0.01));
+        assert!(out[399] < 0.2, "final {}", out[399]);
+        // Decay is slower than attack: value right after release is high.
+        assert!(out[210] > 0.5);
+    }
+
+    #[test]
+    fn fast_detector_resolves_1mbps_symbols() {
+        // Alternate 1 µs on / 1 µs off symbols; the fast detector must show
+        // a clear high/low contrast mid-symbol.
+        let det = EnvelopeDetector::braidio_fast();
+        let dt = Seconds::from_micros(0.02);
+        let per_symbol = 50; // 1 µs
+        let mut samples = Vec::new();
+        for s in 0..20 {
+            let level = if s % 2 == 0 { 1.0 } else { 0.0 };
+            samples.extend(std::iter::repeat(level).take(per_symbol));
+        }
+        let out = det.run(&samples, dt);
+        // Compare mid-symbol values of late symbols.
+        let hi = out[16 * per_symbol + per_symbol - 1];
+        let lo = out[17 * per_symbol + per_symbol - 1];
+        assert!(hi - lo > 0.5, "contrast {} vs {}", hi, lo);
+    }
+
+    #[test]
+    fn slow_detector_smears_1mbps_symbols() {
+        // The stock WISP detector cannot follow 1 Mbps: contrast collapses.
+        let det = EnvelopeDetector::wisp_stock();
+        let dt = Seconds::from_micros(0.02);
+        let per_symbol = 50;
+        let mut samples = Vec::new();
+        for s in 0..20 {
+            let level = if s % 2 == 0 { 1.0 } else { 0.0 };
+            samples.extend(std::iter::repeat(level).take(per_symbol));
+        }
+        let out = det.run(&samples, dt);
+        let hi = out[16 * per_symbol + per_symbol - 1];
+        let lo = out[17 * per_symbol + per_symbol - 1];
+        let fast_contrast = 0.5;
+        assert!(
+            hi - lo < fast_contrast,
+            "stock detector should smear: {} vs {}",
+            hi,
+            lo
+        );
+    }
+
+    #[test]
+    fn bandwidth_ordering() {
+        assert!(
+            EnvelopeDetector::braidio_fast().bandwidth_hz()
+                > EnvelopeDetector::wisp_stock().bandwidth_hz()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "attack must be at least as fast")]
+    fn attack_slower_than_decay_rejected() {
+        let _ = EnvelopeDetector::new(Seconds::from_micros(10.0), Seconds::from_micros(1.0));
+    }
+}

@@ -1,0 +1,193 @@
+//! Single-pole RC filters.
+//!
+//! The high-pass is Braidio's key self-interference trick (§3.1): a static
+//! self-interference channel presents as a DC offset at the charge-pump
+//! output, and even a dynamic channel (coherence time ~milliseconds) only
+//! creates components below ~1 kHz — so a high-pass with a sub-kHz corner
+//! removes the self-interference while passing the 10 kHz–1 MHz backscatter
+//! baseband untouched.
+
+use braidio_units::{Hertz, Seconds};
+
+/// A discrete-time single-pole high-pass filter.
+#[derive(Debug, Clone, Copy)]
+pub struct HighPass {
+    cutoff: Hertz,
+}
+
+impl HighPass {
+    /// High-pass with the given -3 dB cutoff.
+    pub fn new(cutoff: Hertz) -> Self {
+        assert!(cutoff.is_physical(), "cutoff must be positive");
+        HighPass { cutoff }
+    }
+
+    /// From R (ohms) and C (farads): `f_c = 1/(2πRC)`.
+    pub fn from_rc(r: f64, c: f64) -> Self {
+        HighPass::new(Hertz::new(1.0 / (2.0 * core::f64::consts::PI * r * c)))
+    }
+
+    /// Braidio's self-interference rejection corner: 1 kHz, comfortably
+    /// above channel-dynamics components and below the 10 kbps baseband.
+    pub fn braidio_si_reject() -> Self {
+        HighPass::new(Hertz::from_khz(1.0))
+    }
+
+    /// The configured cutoff.
+    pub fn cutoff(&self) -> Hertz {
+        self.cutoff
+    }
+
+    /// Filter a sample sequence spaced `dt` apart.
+    pub fn run(&self, samples: &[f64], dt: Seconds) -> Vec<f64> {
+        let rc = 1.0 / (2.0 * core::f64::consts::PI * self.cutoff.hz());
+        let alpha = rc / (rc + dt.seconds());
+        let mut y = 0.0f64;
+        let mut x_prev = samples.first().copied().unwrap_or(0.0);
+        samples
+            .iter()
+            .map(|&x| {
+                y = alpha * (y + x - x_prev);
+                x_prev = x;
+                y
+            })
+            .collect()
+    }
+
+    /// Magnitude response at frequency `f` (linear, 0..1).
+    pub fn magnitude_at(&self, f: Hertz) -> f64 {
+        let r = f / self.cutoff;
+        r / (1.0 + r * r).sqrt()
+    }
+}
+
+/// A discrete-time single-pole low-pass filter.
+#[derive(Debug, Clone, Copy)]
+pub struct LowPass {
+    cutoff: Hertz,
+}
+
+impl LowPass {
+    /// Low-pass with the given -3 dB cutoff.
+    pub fn new(cutoff: Hertz) -> Self {
+        assert!(cutoff.is_physical(), "cutoff must be positive");
+        LowPass { cutoff }
+    }
+
+    /// The configured cutoff.
+    pub fn cutoff(&self) -> Hertz {
+        self.cutoff
+    }
+
+    /// Filter a sample sequence spaced `dt` apart.
+    pub fn run(&self, samples: &[f64], dt: Seconds) -> Vec<f64> {
+        let rc = 1.0 / (2.0 * core::f64::consts::PI * self.cutoff.hz());
+        let alpha = dt.seconds() / (rc + dt.seconds());
+        let mut y = 0.0f64;
+        samples
+            .iter()
+            .map(|&x| {
+                y += alpha * (x - y);
+                y
+            })
+            .collect()
+    }
+
+    /// Magnitude response at frequency `f` (linear, 0..1).
+    pub fn magnitude_at(&self, f: Hertz) -> f64 {
+        let r = f / self.cutoff;
+        1.0 / (1.0 + r * r).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(f_hz: f64, dt: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * core::f64::consts::PI * f_hz * dt * i as f64).sin())
+            .collect()
+    }
+
+    fn rms_tail(v: &[f64]) -> f64 {
+        let tail = &v[v.len() / 2..];
+        (tail.iter().map(|x| x * x).sum::<f64>() / tail.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn highpass_blocks_dc() {
+        let hp = HighPass::braidio_si_reject();
+        let samples = vec![5.0; 4000];
+        let out = hp.run(&samples, Seconds::from_micros(10.0));
+        assert!(out.last().unwrap().abs() < 0.05, "residual {}", out.last().unwrap());
+    }
+
+    #[test]
+    fn highpass_passes_baseband() {
+        // 100 kHz backscatter baseband through a 1 kHz corner: nearly
+        // untouched.
+        let hp = HighPass::braidio_si_reject();
+        let dt = 1e-7;
+        let x = sine(100e3, dt, 20_000);
+        let y = hp.run(&x, Seconds::new(dt));
+        let gain = rms_tail(&y) / rms_tail(&x);
+        assert!(gain > 0.98, "gain {gain}");
+    }
+
+    #[test]
+    fn highpass_attenuates_channel_dynamics() {
+        // ~100 Hz channel-dynamics component (coherence-time leakage) is cut
+        // by ~10x at a 1 kHz corner.
+        let hp = HighPass::braidio_si_reject();
+        let dt = 1e-5;
+        let x = sine(100.0, dt, 200_000);
+        let y = hp.run(&x, Seconds::new(dt));
+        let gain = rms_tail(&y) / rms_tail(&x);
+        assert!(gain < 0.15, "gain {gain}");
+    }
+
+    #[test]
+    fn highpass_magnitude_at_cutoff() {
+        let hp = HighPass::new(Hertz::from_khz(1.0));
+        let m = hp.magnitude_at(Hertz::from_khz(1.0));
+        assert!((m - core::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_rc_matches_formula() {
+        // 160 kΩ, 1 nF -> ~1 kHz.
+        let hp = HighPass::from_rc(159_155.0, 1e-9);
+        assert!((hp.cutoff().hz() - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn lowpass_passes_dc_blocks_fast() {
+        let lp = LowPass::new(Hertz::from_khz(1.0));
+        let dc = vec![2.0; 50_000];
+        let out = lp.run(&dc, Seconds::from_micros(10.0));
+        assert!((out.last().unwrap() - 2.0).abs() < 0.01);
+
+        let dt = 1e-6;
+        let fast = sine(100e3, dt, 100_000);
+        let y = lp.run(&fast, Seconds::new(dt));
+        assert!(rms_tail(&y) / rms_tail(&fast) < 0.02);
+    }
+
+    #[test]
+    fn lowpass_magnitude_at_cutoff() {
+        let lp = LowPass::new(Hertz::from_khz(10.0));
+        let m = lp.magnitude_at(Hertz::from_khz(10.0));
+        assert!((m - core::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complementary_at_extremes() {
+        let hp = HighPass::new(Hertz::from_khz(1.0));
+        let lp = LowPass::new(Hertz::from_khz(1.0));
+        assert!(hp.magnitude_at(Hertz::new(1.0)) < 0.01);
+        assert!(lp.magnitude_at(Hertz::new(1.0)) > 0.99);
+        assert!(hp.magnitude_at(Hertz::from_mhz(1.0)) > 0.99);
+        assert!(lp.magnitude_at(Hertz::from_mhz(1.0)) < 0.01);
+    }
+}

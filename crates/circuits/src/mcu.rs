@@ -1,0 +1,125 @@
+//! Microcontroller power model (ATMEGA328P-class, Table 4).
+//!
+//! The controller shows up in every mode's power budget: it clocks the
+//! backscatter switch, samples the comparator, frames packets and runs the
+//! offload algorithm. Table 4: "consumes only 2 mA @ 8 MHz".
+
+use braidio_units::{Joules, Seconds, Watts};
+
+/// MCU operating states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McuState {
+    /// Full-speed run (8 MHz).
+    Active,
+    /// Clocked-down idle, peripherals alive.
+    Idle,
+    /// Power-down sleep, watchdog only.
+    Sleep,
+}
+
+/// An MCU with per-state draw and a cycle-cost model for the radio tasks.
+#[derive(Debug, Clone, Copy)]
+pub struct Mcu {
+    /// Supply voltage.
+    pub vcc: f64,
+    /// Active-state current, amps.
+    pub i_active: f64,
+    /// Idle-state current, amps.
+    pub i_idle: f64,
+    /// Sleep current, amps.
+    pub i_sleep: f64,
+    /// Core clock, Hz.
+    pub clock_hz: f64,
+}
+
+impl Mcu {
+    /// The ATMEGA328P at 3.3 V / 8 MHz.
+    pub fn atmega328p() -> Self {
+        Mcu {
+            vcc: 3.3,
+            i_active: 2.0e-3,
+            i_idle: 0.5e-3,
+            i_sleep: 4.5e-6,
+            clock_hz: 8e6,
+        }
+    }
+
+    /// Power draw in a state.
+    pub fn draw(&self, state: McuState) -> Watts {
+        let i = match state {
+            McuState::Active => self.i_active,
+            McuState::Idle => self.i_idle,
+            McuState::Sleep => self.i_sleep,
+        };
+        Watts::new(self.vcc * i)
+    }
+
+    /// Energy for `cycles` of active computation.
+    pub fn compute_energy(&self, cycles: f64) -> Joules {
+        self.draw(McuState::Active) * Seconds::new(cycles / self.clock_hz)
+    }
+
+    /// Per-bit processing energy when the radio work costs
+    /// `cycles_per_bit` cycles (toggling the tag switch: ~8 cycles/bit;
+    /// framing + CRC: ~30 cycles/bit).
+    pub fn energy_per_bit(&self, cycles_per_bit: f64) -> Joules {
+        self.compute_energy(cycles_per_bit)
+    }
+
+    /// The fastest bitrate this MCU can service at `cycles_per_bit`.
+    pub fn max_bitrate(&self, cycles_per_bit: f64) -> f64 {
+        self.clock_hz / cycles_per_bit
+    }
+}
+
+impl Default for Mcu {
+    fn default() -> Self {
+        Mcu::atmega328p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_quote_2ma_at_8mhz() {
+        let m = Mcu::atmega328p();
+        assert!((m.draw(McuState::Active).milliwatts() - 6.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn state_ordering() {
+        let m = Mcu::atmega328p();
+        assert!(m.draw(McuState::Active) > m.draw(McuState::Idle));
+        assert!(m.draw(McuState::Idle) > m.draw(McuState::Sleep));
+        // Sleep is µW-class — compatible with tag-mode budgets.
+        assert!(m.draw(McuState::Sleep) < Watts::from_microwatts(20.0));
+    }
+
+    #[test]
+    fn can_toggle_backscatter_at_1mbps() {
+        // 8 cycles/bit at 8 MHz = 1 Mbps: exactly the top Braidio rate.
+        let m = Mcu::atmega328p();
+        assert!(m.max_bitrate(8.0) >= 1e6);
+        // Full framing at 30 cycles/bit caps out near 266 kbps — which is
+        // why the 1 Mbps path uses hardware shift-out, not bit-banging.
+        assert!(m.max_bitrate(30.0) < 1e6);
+    }
+
+    #[test]
+    fn per_bit_energy_scale() {
+        // 8 cycles/bit: 6.6 mW × 1 µs = 6.6 nJ... per 8 cycles at 8 MHz.
+        let m = Mcu::atmega328p();
+        let e = m.energy_per_bit(8.0);
+        assert!((e.joules() - 6.6e-9).abs() < 1e-11, "{e}");
+    }
+
+    #[test]
+    fn compute_energy_linear_in_cycles() {
+        let m = Mcu::atmega328p();
+        let one = m.compute_energy(1000.0);
+        let two = m.compute_energy(2000.0);
+        assert!((two.joules() / one.joules() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! SPDT antenna switch (SKY13267-class, Table 4).
+//!
+//! Braidio uses the switch for two things: selecting between the two
+//! diversity receive antennas (§3.2), and — on the backscatter transmitter
+//! side — toggling the antenna between its two reflection states, which *is*
+//! the modulator.
+
+use braidio_units::{Decibels, Seconds, Watts};
+
+/// Which throw of the SPDT switch is selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throw {
+    /// Port 1 (e.g. diversity antenna 1, or tag state "reflect").
+    Port1,
+    /// Port 2 (e.g. diversity antenna 2, or tag state "absorb").
+    Port2,
+}
+
+impl Throw {
+    /// The other port.
+    pub fn other(self) -> Throw {
+        match self {
+            Throw::Port1 => Throw::Port2,
+            Throw::Port2 => Throw::Port1,
+        }
+    }
+}
+
+/// An SPDT RF switch.
+#[derive(Debug, Clone, Copy)]
+pub struct AntennaSwitch {
+    /// Insertion loss through the selected port.
+    pub insertion_loss: Decibels,
+    /// Isolation to the unselected port.
+    pub isolation: Decibels,
+    /// Control-side power draw (SKY13267: "less than 10 µW", Table 4).
+    pub power: Watts,
+    /// Switching time between throws.
+    pub switch_time: Seconds,
+    state: Throw,
+    transitions: u64,
+}
+
+impl AntennaSwitch {
+    /// The SKY13267-class part on Braidio's board.
+    pub fn sky13267() -> Self {
+        AntennaSwitch {
+            insertion_loss: Decibels::new(0.35),
+            isolation: Decibels::new(22.0),
+            power: Watts::from_microwatts(8.0),
+            switch_time: Seconds::from_micros(0.5),
+            state: Throw::Port1,
+            transitions: 0,
+        }
+    }
+
+    /// Currently selected throw.
+    pub fn state(&self) -> Throw {
+        self.state
+    }
+
+    /// Select a throw; counts a transition only when the state changes.
+    pub fn select(&mut self, throw: Throw) {
+        if self.state != throw {
+            self.state = throw;
+            self.transitions += 1;
+        }
+    }
+
+    /// Toggle to the other throw.
+    pub fn toggle(&mut self) {
+        self.select(self.state.other());
+    }
+
+    /// How many state changes have occurred (each costs `switch_time`).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// The gain seen by a signal entering via `port`: insertion loss if the
+    /// port is selected, isolation otherwise.
+    pub fn gain_for(&self, port: Throw) -> Decibels {
+        if port == self.state {
+            -self.insertion_loss
+        } else {
+            -self.isolation
+        }
+    }
+
+    /// The maximum OOK toggle rate the switch supports, hertz.
+    pub fn max_toggle_rate_hz(&self) -> f64 {
+        0.5 / self.switch_time.seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_and_toggle() {
+        let mut s = AntennaSwitch::sky13267();
+        assert_eq!(s.state(), Throw::Port1);
+        s.toggle();
+        assert_eq!(s.state(), Throw::Port2);
+        s.select(Throw::Port2); // no-op
+        assert_eq!(s.transitions(), 1);
+        s.select(Throw::Port1);
+        assert_eq!(s.transitions(), 2);
+    }
+
+    #[test]
+    fn selected_port_sees_insertion_loss_only() {
+        let s = AntennaSwitch::sky13267();
+        assert_eq!(s.gain_for(Throw::Port1).db(), -0.35);
+        assert_eq!(s.gain_for(Throw::Port2).db(), -22.0);
+    }
+
+    #[test]
+    fn supports_1mbps_ook() {
+        // 1 Mbps OOK needs 1 M toggles/s at worst; the switch must keep up.
+        let s = AntennaSwitch::sky13267();
+        assert!(s.max_toggle_rate_hz() >= 1e6);
+    }
+
+    #[test]
+    fn micropower() {
+        assert!(AntennaSwitch::sky13267().power < Watts::from_microwatts(10.0));
+    }
+
+    #[test]
+    fn other_is_involutive() {
+        assert_eq!(Throw::Port1.other().other(), Throw::Port1);
+    }
+}

@@ -1,0 +1,220 @@
+//! The high-level transfer API: describe two devices and a separation, run
+//! the carrier-offload link to battery exhaustion, inspect the outcome.
+
+use braidio_mac::sim::{simulate_transfer, Policy, SimReport, Traffic, TransferSetup};
+use braidio_radio::characterization::Characterization;
+use braidio_radio::devices::Device;
+use braidio_radio::Mode;
+use braidio_units::{Joules, Meters, Seconds};
+
+/// Builder for a device-to-device transfer experiment.
+///
+/// ```
+/// use braidio::prelude::*;
+///
+/// // A smartwatch syncs bidirectionally with a phone at arm's length.
+/// let outcome = Transfer::between(devices::APPLE_WATCH, devices::IPHONE_6S)
+///     .at_distance(Meters::new(0.4))
+///     .bidirectional()
+///     .run();
+///
+/// // The watch never runs a carrier: backscatter up, passive receiver down.
+/// assert!(outcome.gain_over_bluetooth() > 5.0);
+/// assert!(outcome.gain_over_best_single() >= 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Transfer {
+    tx: Device,
+    rx: Device,
+    distance: Meters,
+    traffic: Traffic,
+    tx_soc: f64,
+    rx_soc: f64,
+    ch: Characterization,
+}
+
+impl Transfer {
+    /// A transfer from `tx` (data source) to `rx` (data sink), both with
+    /// full batteries, half a meter apart.
+    pub fn between(tx: Device, rx: Device) -> Self {
+        Transfer {
+            tx,
+            rx,
+            distance: Meters::new(0.5),
+            traffic: Traffic::Unidirectional,
+            tx_soc: 1.0,
+            rx_soc: 1.0,
+            ch: Characterization::braidio(),
+        }
+    }
+
+    /// Set the device separation.
+    pub fn at_distance(mut self, d: Meters) -> Self {
+        assert!(d.is_physical(), "distance must be non-negative");
+        self.distance = d;
+        self
+    }
+
+    /// Make the traffic bidirectional (equal data both ways).
+    pub fn bidirectional(mut self) -> Self {
+        self.traffic = Traffic::Bidirectional;
+        self
+    }
+
+    /// Start from partial batteries (state of charge in `[0, 1]`).
+    pub fn with_charge(mut self, tx_soc: f64, rx_soc: f64) -> Self {
+        assert!((0.0..=1.0).contains(&tx_soc) && (0.0..=1.0).contains(&rx_soc));
+        self.tx_soc = tx_soc;
+        self.rx_soc = rx_soc;
+        self
+    }
+
+    /// Use a custom characterization (e.g. a modified board).
+    pub fn with_characterization(mut self, ch: Characterization) -> Self {
+        self.ch = ch;
+        self
+    }
+
+    fn setup(&self, policy: Policy) -> TransferSetup {
+        let mut s = TransferSetup::new(
+            self.tx.battery_wh * self.tx_soc,
+            self.rx.battery_wh * self.rx_soc,
+            policy,
+        );
+        s.ch = self.ch.clone();
+        s.distance = self.distance;
+        s.traffic = self.traffic;
+        s
+    }
+
+    /// Run under a specific policy.
+    pub fn run_policy(&self, policy: Policy) -> SimReport {
+        simulate_transfer(&self.setup(policy))
+    }
+
+    /// Run Braidio and the baselines, returning a combined outcome.
+    pub fn run(&self) -> Outcome {
+        Outcome {
+            braidio: self.run_policy(Policy::Braidio),
+            bluetooth: self.run_policy(Policy::Bluetooth),
+            best_single: self.run_policy(Policy::BestSingleMode),
+        }
+    }
+}
+
+/// Braidio vs. the two baselines for one transfer.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The carrier-offload run.
+    pub braidio: SimReport,
+    /// The symmetric Bluetooth run.
+    pub bluetooth: SimReport,
+    /// The best single pinned mode.
+    pub best_single: SimReport,
+}
+
+impl Outcome {
+    /// Total-bits gain over Bluetooth (the Fig. 15/17/18 metric).
+    pub fn gain_over_bluetooth(&self) -> f64 {
+        self.braidio.bits / self.bluetooth.bits
+    }
+
+    /// Total-bits gain over the best single mode (the Fig. 16 metric).
+    pub fn gain_over_best_single(&self) -> f64 {
+        self.braidio.bits / self.best_single.bits
+    }
+
+    /// Total bits Braidio moved.
+    pub fn bits(&self) -> f64 {
+        self.braidio.bits
+    }
+
+    /// Braidio link lifetime.
+    pub fn lifetime(&self) -> Seconds {
+        self.braidio.duration
+    }
+
+    /// Energy Braidio left stranded (both sides) — small when the plan is
+    /// exactly power-proportional.
+    pub fn stranded_energy(&self, tx: Device, rx: Device) -> Joules {
+        let e1 = Joules::from_watt_hours(tx.battery_wh) - self.braidio.e1_spent;
+        let e2 = Joules::from_watt_hours(rx.battery_wh) - self.braidio.e2_spent;
+        e1.clamped_non_negative() + e2.clamped_non_negative()
+    }
+
+    /// The dominant Braidio mode by bits carried.
+    pub fn dominant_mode(&self) -> Mode {
+        self.braidio
+            .mode_bits
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|&(m, _)| m)
+            .expect("three modes present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braidio_radio::devices;
+
+    #[test]
+    fn builder_round_trip() {
+        let outcome = Transfer::between(devices::APPLE_WATCH, devices::IPHONE_6S)
+            .at_distance(Meters::new(0.5))
+            .run();
+        assert!(outcome.gain_over_bluetooth() > 1.0);
+        assert!(outcome.bits() > 0.0);
+        assert!(outcome.lifetime() > Seconds::ZERO);
+    }
+
+    #[test]
+    fn watch_to_phone_uses_backscatter() {
+        let outcome = Transfer::between(devices::APPLE_WATCH, devices::IPHONE_6S).run();
+        assert_eq!(outcome.dominant_mode(), Mode::Backscatter);
+    }
+
+    #[test]
+    fn phone_to_watch_uses_passive() {
+        let outcome = Transfer::between(devices::IPHONE_6S, devices::APPLE_WATCH).run();
+        assert_eq!(outcome.dominant_mode(), Mode::Passive);
+    }
+
+    #[test]
+    fn partial_charge_scales_bits() {
+        let full = Transfer::between(devices::PEBBLE_WATCH, devices::NEXUS_6P).run();
+        let half = Transfer::between(devices::PEBBLE_WATCH, devices::NEXUS_6P)
+            .with_charge(0.5, 0.5)
+            .run();
+        let ratio = half.bits() / full.bits();
+        assert!((ratio - 0.5).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn bidirectional_builder() {
+        let outcome = Transfer::between(devices::NIKE_FUEL_BAND, devices::MACBOOK_PRO_15)
+            .bidirectional()
+            .run();
+        assert!(outcome.gain_over_bluetooth() > 100.0);
+    }
+
+    #[test]
+    fn stranded_energy_small_for_proportional_pair() {
+        let (a, b) = (devices::IPHONE_6S, devices::IPHONE_6_PLUS);
+        let outcome = Transfer::between(a, b).run();
+        let stranded = outcome.stranded_energy(a, b);
+        let total = Joules::from_watt_hours(a.battery_wh + b.battery_wh);
+        assert!(
+            stranded / total < 0.02,
+            "stranded {} of {}",
+            stranded,
+            total
+        );
+    }
+
+    #[test]
+    fn gain_over_best_single_at_least_one() {
+        let outcome = Transfer::between(devices::IPHONE_6S, devices::IPHONE_6_PLUS).run();
+        assert!(outcome.gain_over_best_single() >= 1.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Stop-and-wait ARQ on a lossy Braidio link.
+//!
+//! The characterization defines "operational" as BER < 10⁻², which at
+//! 2000-bit packets still means double-digit packet error rates near the
+//! regime edges. A link layer retransmits; this module provides the
+//! closed-form expectation used by the simulator and examples to convert
+//! PER into goodput and energy multipliers.
+
+/// Truncated-retry stop-and-wait ARQ over a channel with i.i.d. packet
+/// error rate `per`.
+#[derive(Debug, Clone, Copy)]
+pub struct ArqModel {
+    /// Packet error probability per attempt (data or its ACK lost).
+    pub per: f64,
+    /// Maximum transmissions per packet (1 = no retries).
+    pub max_transmissions: u32,
+    /// ACK length relative to the data packet (airtime/energy fraction).
+    pub ack_fraction: f64,
+}
+
+impl ArqModel {
+    /// An ARQ with the given attempt-loss probability and retry cap.
+    pub fn new(per: f64, max_transmissions: u32) -> Self {
+        assert!((0.0..=1.0).contains(&per), "per must be a probability");
+        assert!(max_transmissions >= 1, "need at least one transmission");
+        ArqModel {
+            per,
+            max_transmissions,
+            ack_fraction: 0.05,
+        }
+    }
+
+    /// Expected number of transmissions per packet (truncated geometric).
+    pub fn expected_transmissions(&self) -> f64 {
+        let p = self.per;
+        let n = self.max_transmissions as i32;
+        if p == 0.0 {
+            return 1.0;
+        }
+        if p == 1.0 {
+            return n as f64;
+        }
+        // E[min(Geom(1-p), n)] = (1 - p^n) / (1 - p).
+        (1.0 - p.powi(n)) / (1.0 - p)
+    }
+
+    /// Probability the packet is eventually delivered within the cap.
+    pub fn delivery_probability(&self) -> f64 {
+        1.0 - self.per.powi(self.max_transmissions as i32)
+    }
+
+    /// Energy/airtime multiplier relative to a loss-free link, counting
+    /// ACK overhead on every attempt.
+    pub fn cost_multiplier(&self) -> f64 {
+        self.expected_transmissions() * (1.0 + self.ack_fraction)
+    }
+
+    /// Goodput factor: delivered payload per unit airtime relative to a
+    /// loss-free, ACK-free link.
+    pub fn goodput_factor(&self) -> f64 {
+        self.delivery_probability() / self.cost_multiplier()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_channel_is_free() {
+        let a = ArqModel::new(0.0, 8);
+        assert_eq!(a.expected_transmissions(), 1.0);
+        assert_eq!(a.delivery_probability(), 1.0);
+        assert!((a.goodput_factor() - 1.0 / 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_geometric_math() {
+        let a = ArqModel::new(0.5, 3);
+        // E = (1 - 0.125)/0.5 = 1.75.
+        assert!((a.expected_transmissions() - 1.75).abs() < 1e-12);
+        assert!((a.delivery_probability() - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_retries_degenerates() {
+        let a = ArqModel::new(0.3, 1);
+        assert_eq!(a.expected_transmissions(), 1.0);
+        assert!((a.delivery_probability() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_channel_burns_full_budget() {
+        let a = ArqModel::new(1.0, 5);
+        assert_eq!(a.expected_transmissions(), 5.0);
+        assert_eq!(a.delivery_probability(), 0.0);
+        assert_eq!(a.goodput_factor(), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_per() {
+        let mut prev_cost = 0.0;
+        let mut prev_good = f64::MAX;
+        for per in [0.0, 0.05, 0.2, 0.5, 0.9] {
+            let a = ArqModel::new(per, 8);
+            assert!(a.cost_multiplier() >= prev_cost);
+            assert!(a.goodput_factor() <= prev_good);
+            prev_cost = a.cost_multiplier();
+            prev_good = a.goodput_factor();
+        }
+    }
+
+    #[test]
+    fn more_retries_help_delivery_but_cost_energy() {
+        let short = ArqModel::new(0.3, 2);
+        let long = ArqModel::new(0.3, 10);
+        assert!(long.delivery_probability() > short.delivery_probability());
+        assert!(long.expected_transmissions() > short.expected_transmissions());
+    }
+
+    #[test]
+    fn operational_ber_threshold_is_retry_friendly() {
+        // At the characterization's BER=1e-2 edge with 2120-bit packets,
+        // PER ≈ 1 - 0.99^2120... practically 1. The *operating* points the
+        // scheduler uses sit well inside the boundary; at BER = 1e-4 the
+        // PER is ~19% and ARQ recovers it with ~1.24 attempts.
+        let per = 1.0 - (1.0f64 - 1e-4).powi(2120);
+        let a = ArqModel::new(per, 8);
+        assert!((0.15..0.25).contains(&per), "per {per}");
+        assert!(a.delivery_probability() > 0.999_99);
+        assert!(a.expected_transmissions() < 1.3);
+    }
+}

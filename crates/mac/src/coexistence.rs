@@ -1,0 +1,256 @@
+//! Coexistence: two Braidio pairs in one room.
+//!
+//! Table 3 admits the design's soft spot: the SAW filter "may be interfered
+//! by in-band signal" — and the loudest in-band signal around is *another
+//! Braidio pair's carrier*. This module quantifies the victim detector's
+//! SNR penalty from a foreign carrier, how far apart two pairs must be to
+//! keep their backscatter regimes, and when coordinating (TDMA-style
+//! carrier alternation) beats suffering the interference.
+//!
+//! Model: the foreign carrier arrives at the victim's detector with power
+//! `I`. What fraction acts as noise depends on where it lands:
+//!
+//! * **co-channel** — the foreign carrier superposes quasi-statically with
+//!   the victim's own self-interference; the high-pass removes its DC part
+//!   and only channel-dynamics leakage (~10 %) acts as noise;
+//! * **adjacent channel (in ISM band)** — the beat between the two
+//!   carriers lands inside the baseband: full power acts as noise;
+//! * **out of band** — the SAW's stopband rejection applies first.
+//!
+//! The analysis lands on a sharp conclusion: *distance cannot save the
+//! backscatter regime from an uncoordinated in-band carrier* — a one-way
+//! CW always dwarfs a two-way reflection — so multi-pair deployments must
+//! coordinate (TDMA or channel planning), the same pressure that produced
+//! EPC Gen2's dense-reader mode.
+
+use braidio_radio::characterization::{Characterization, Rate, OPERATIONAL_BER};
+use braidio_radio::Mode;
+use braidio_rfsim::pathloss::free_space_gain;
+use braidio_units::{Decibels, Hertz, Meters, Watts};
+
+/// Where the foreign carrier sits relative to the victim's channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelRelation {
+    /// Same channel: mostly removed as quasi-DC; ~10 % leaks as noise.
+    CoChannel,
+    /// Different channel inside the ISM band: the beat is in-band noise.
+    AdjacentChannel,
+    /// Outside the ISM band: SAW stopband rejection applies.
+    OutOfBand,
+}
+
+impl ChannelRelation {
+    /// The fraction of the arriving carrier power that acts as detector
+    /// noise.
+    pub fn noise_coupling(self) -> Decibels {
+        match self {
+            ChannelRelation::CoChannel => Decibels::new(-10.0),
+            ChannelRelation::AdjacentChannel => Decibels::new(0.0),
+            ChannelRelation::OutOfBand => Decibels::new(-30.0),
+        }
+    }
+}
+
+/// A coexistence scenario: a victim pair plus one foreign carrier.
+#[derive(Debug, Clone)]
+pub struct Coexistence {
+    /// The victim pair's characterization.
+    pub ch: Characterization,
+    /// Distance from the foreign carrier to the victim's receive antenna.
+    pub interferer_distance: Meters,
+    /// The foreign carrier's RF output (another Braidio: 13 dBm).
+    pub interferer_rf: Watts,
+    /// Channel relationship.
+    pub relation: ChannelRelation,
+}
+
+impl Coexistence {
+    /// Another Braidio pair's carrier at the given distance, adjacent
+    /// channel (the worst realistic case).
+    pub fn braidio_neighbor(d: Meters) -> Self {
+        Coexistence {
+            ch: Characterization::braidio(),
+            interferer_distance: d,
+            interferer_rf: Watts::from_dbm(13.0),
+            relation: ChannelRelation::AdjacentChannel,
+        }
+    }
+
+    /// Foreign-carrier power arriving at the victim detector (after the
+    /// victim's antenna and front end).
+    pub fn interference_at_detector(&self) -> Watts {
+        self.interferer_rf
+            .gained(free_space_gain(self.interferer_distance, Hertz::UHF_915M))
+            .gained(self.ch.budget.rx_antenna_gain)
+            .gained(-self.ch.budget.detector_frontend_loss)
+            .gained(self.relation.noise_coupling())
+    }
+
+    /// Victim SNR with the interference folded into the noise floor.
+    pub fn victim_snr(&self, mode: Mode, rate: Rate, d_pair: Meters) -> Decibels {
+        let rx = self.ch.received_power(mode, d_pair);
+        let noise = self
+            .ch
+            .detector_noise(mode, rate)
+            .expect("detector-based mode")
+            + self.interference_at_detector();
+        rx.ratio_db(noise)
+    }
+
+    /// SNR penalty relative to the interference-free link.
+    pub fn snr_penalty(&self, mode: Mode, rate: Rate, d_pair: Meters) -> Decibels {
+        self.ch.snr(mode, rate, d_pair) - self.victim_snr(mode, rate, d_pair)
+    }
+
+    /// Is the victim link still operational under interference?
+    pub fn victim_available(&self, mode: Mode, rate: Rate, d_pair: Meters) -> bool {
+        let gamma = self.victim_snr(mode, rate, d_pair).linear();
+        braidio_phy::ber::ber_ook_noncoherent_fast(gamma) <= OPERATIONAL_BER
+    }
+
+    /// The fastest operational rate for the victim under interference.
+    pub fn victim_max_rate(&self, mode: Mode, d_pair: Meters) -> Option<Rate> {
+        Rate::ALL
+            .into_iter()
+            .rev()
+            .find(|&r| self.ch.power(mode, r).is_some() && self.victim_available(mode, r, d_pair))
+    }
+
+    /// The minimum interferer distance at which the victim keeps the given
+    /// mode/rate, by bisection over `[0.05, 100]` m. `None` if even 100 m
+    /// is too close (never happens for realistic parameters).
+    pub fn required_interferer_distance(
+        &self,
+        mode: Mode,
+        rate: Rate,
+        d_pair: Meters,
+    ) -> Option<Meters> {
+        let ok = |d: f64| {
+            let mut c = self.clone();
+            c.interferer_distance = Meters::new(d);
+            c.victim_available(mode, rate, d_pair)
+        };
+        if !self.ch.available(mode, rate, d_pair) {
+            return None; // dead even without interference
+        }
+        if ok(0.05) {
+            return Some(Meters::new(0.05));
+        }
+        if !ok(100.0) {
+            return None;
+        }
+        let (mut lo, mut hi) = (0.05f64, 100.0f64);
+        for _ in 0..48 {
+            let mid = 0.5 * (lo + hi);
+            if ok(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(Meters::new(0.5 * (lo + hi)))
+    }
+
+    /// Throughput comparison: suffer the interference at the best surviving
+    /// rate, or TDMA the two carriers (full rate, half airtime). Returns
+    /// `(suffer_bps, tdma_bps)` for the victim's mode at `d_pair`.
+    pub fn suffer_vs_tdma(&self, mode: Mode, d_pair: Meters) -> (f64, f64) {
+        let suffer = self
+            .victim_max_rate(mode, d_pair)
+            .map(|r| r.bps().bps())
+            .unwrap_or(0.0);
+        let tdma = self
+            .ch
+            .max_rate(mode, d_pair)
+            .map(|r| r.bps().bps() * 0.5)
+            .unwrap_or(0.0);
+        (suffer, tdma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_shrinks_with_interferer_distance() {
+        let mut prev = f64::MAX;
+        for d in [1.0, 2.0, 5.0, 10.0, 30.0] {
+            let c = Coexistence::braidio_neighbor(Meters::new(d));
+            let p = c
+                .snr_penalty(Mode::Backscatter, Rate::Kbps100, Meters::new(1.0))
+                .db();
+            assert!(p < prev, "at {d} m");
+            assert!(p >= 0.0);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn close_neighbor_kills_backscatter() {
+        // A second pair's carrier 1 m away obliterates the victim's
+        // backscatter regime (the backscatter signal is ~90 dB below it).
+        let c = Coexistence::braidio_neighbor(Meters::new(1.0));
+        assert_eq!(c.victim_max_rate(Mode::Backscatter, Meters::new(0.5)), None);
+    }
+
+    #[test]
+    fn co_channel_hurts_less_than_adjacent() {
+        let mut adj = Coexistence::braidio_neighbor(Meters::new(5.0));
+        let mut co = adj.clone();
+        co.relation = ChannelRelation::CoChannel;
+        adj.relation = ChannelRelation::AdjacentChannel;
+        let d = Meters::new(1.0);
+        assert!(
+            co.snr_penalty(Mode::Backscatter, Rate::Kbps100, d)
+                < adj.snr_penalty(Mode::Backscatter, Rate::Kbps100, d)
+        );
+    }
+
+    #[test]
+    fn out_of_band_neighbor_is_nearly_harmless() {
+        let mut c = Coexistence::braidio_neighbor(Meters::new(3.0));
+        c.relation = ChannelRelation::OutOfBand;
+        let p = c
+            .snr_penalty(Mode::Passive, Rate::Kbps100, Meters::new(2.0))
+            .db();
+        assert!(p < 1.0, "penalty {p} dB");
+    }
+
+    #[test]
+    fn backscatter_needs_coordination_not_distance() {
+        // The headline coexistence finding: an uncoordinated adjacent-
+        // channel carrier kills the backscatter regime even from 100 m away
+        // — a CW carrier over a one-way path is always orders of magnitude
+        // above a two-way backscatter reflection. Spatial separation cannot
+        // fix it; coordination (TDMA / channel planning) is required. This
+        // is exactly why EPC Gen2 defines a dense-reader mode.
+        let c = Coexistence::braidio_neighbor(Meters::new(1.0));
+        assert_eq!(
+            c.required_interferer_distance(Mode::Backscatter, Rate::Kbps100, Meters::new(1.0)),
+            None
+        );
+        // The passive link (one-way signal) *is* recoverable by distance.
+        let req_p = c
+            .required_interferer_distance(Mode::Passive, Rate::Kbps100, Meters::new(1.0))
+            .expect("passive recoverable");
+        assert!(
+            (1.0..100.0).contains(&req_p.meters()),
+            "passive requires {req_p}"
+        );
+    }
+
+    #[test]
+    fn tdma_wins_for_backscatter_suffering_wins_for_far_passive() {
+        // Backscatter near a neighbour: only TDMA moves bits at all.
+        let near = Coexistence::braidio_neighbor(Meters::new(2.0));
+        let (suffer, tdma) = near.suffer_vs_tdma(Mode::Backscatter, Meters::new(0.5));
+        assert_eq!(suffer, 0.0);
+        assert!(tdma > 0.0, "tdma {tdma}");
+        // Passive with a far neighbour: the interference is below the
+        // detector floor, so keeping the whole airtime beats halving it.
+        let far = Coexistence::braidio_neighbor(Meters::new(80.0));
+        let (suffer, tdma) = far.suffer_vs_tdma(Mode::Passive, Meters::new(0.5));
+        assert!(suffer > tdma, "far passive: suffer {suffer} vs tdma {tdma}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Duty-cycled sensor workloads: lifetime when the link is mostly idle.
+//!
+//! The Fig. 15–18 experiments saturate the link until a battery dies; real
+//! wearables move a few megabytes a day and idle the rest. Idle power then
+//! dominates, and Braidio's second gift — the ~50 µW passive wake-up
+//! receiver instead of duty-cycled active listening (`wakeup`) — matters as
+//! much as the per-bit carrier offload. This module combines both into a
+//! closed-form daily energy budget.
+
+use crate::offload::OffloadPlan;
+use crate::wakeup::{DutyCycledListener, PassiveWakeup};
+use braidio_units::{Joules, Seconds, Watts};
+
+/// A daily sensor workload over a Braidio (or baseline) link.
+#[derive(Debug, Clone, Copy)]
+pub struct DailyWorkload {
+    /// Payload bits uploaded per day.
+    pub bits_per_day: f64,
+    /// Idle draw at the device while waiting (its listening strategy).
+    pub idle_power: Watts,
+    /// Per-bit transmit-side energy while transferring.
+    pub tx_cost_jpb: f64,
+    /// Link time per bit (sets how long the radio is non-idle).
+    pub time_per_bit: Seconds,
+}
+
+impl DailyWorkload {
+    /// A wearable under Braidio: plan costs from the offload solver, idle
+    /// on the passive wake-up chain.
+    pub fn braidio(plan: &OffloadPlan, bits_per_day: f64) -> Self {
+        let time_per_bit: f64 = plan
+            .allocations
+            .iter()
+            .map(|a| a.fraction / a.option.rate.bps().bps())
+            .sum();
+        DailyWorkload {
+            bits_per_day,
+            idle_power: PassiveWakeup::braidio().chain_power,
+            tx_cost_jpb: plan.tx_cost.joules_per_bit(),
+            time_per_bit: Seconds::new(time_per_bit),
+        }
+    }
+
+    /// A wearable on the Bluetooth baseline: symmetric per-bit cost, idle
+    /// via 1-second low-power listening.
+    pub fn bluetooth(bits_per_day: f64) -> Self {
+        let radio = braidio_radio::bluetooth::BluetoothRadio::baseline();
+        DailyWorkload {
+            bits_per_day,
+            idle_power: DutyCycledListener::ble(Seconds::new(1.0)).average_power(),
+            tx_cost_jpb: radio.tx_energy_per_bit().joules_per_bit(),
+            time_per_bit: Seconds::new(1.0 / radio.rate.bps()),
+        }
+    }
+
+    /// Seconds per day spent actively transferring.
+    pub fn active_seconds(&self) -> Seconds {
+        self.time_per_bit * self.bits_per_day
+    }
+
+    /// Energy drawn from the device per day.
+    pub fn daily_energy(&self) -> Joules {
+        let active = self.active_seconds();
+        assert!(
+            active.seconds() <= 86_400.0,
+            "workload exceeds a day of airtime"
+        );
+        let idle = Seconds::new(86_400.0) - active;
+        Joules::new(self.bits_per_day * self.tx_cost_jpb) + self.idle_power * idle
+    }
+
+    /// Days a battery of `capacity` sustains this workload.
+    pub fn lifetime_days(&self, capacity: Joules) -> f64 {
+        capacity.joules() / self.daily_energy().joules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offload::solve_at;
+    use braidio_radio::characterization::Characterization;
+    use braidio_units::Meters;
+
+    const MB_PER_DAY: f64 = 8.0 * 5e6; // 5 MB of sensor data
+
+    fn plan() -> OffloadPlan {
+        solve_at(
+            &Characterization::braidio(),
+            Meters::new(0.5),
+            Joules::from_watt_hours(0.26), // fuel band
+            Joules::from_watt_hours(6.55), // phone
+        )
+        .expect("in range")
+    }
+
+    #[test]
+    fn braidio_wearable_lives_weeks_not_days() {
+        let braidio = DailyWorkload::braidio(&plan(), MB_PER_DAY);
+        let bt = DailyWorkload::bluetooth(MB_PER_DAY);
+        let battery = Joules::from_watt_hours(0.26);
+        let life_braidio = braidio.lifetime_days(battery);
+        let life_bt = bt.lifetime_days(battery);
+        assert!(
+            life_braidio / life_bt > 3.0,
+            "braidio {life_braidio:.1} d vs bluetooth {life_bt:.1} d"
+        );
+        assert!(life_braidio > 30.0, "braidio {life_braidio:.1} days");
+    }
+
+    #[test]
+    fn idle_dominates_light_workloads() {
+        let light = DailyWorkload::braidio(&plan(), 8.0 * 1e5); // 100 kB/day
+        let idle_energy = light.idle_power * Seconds::new(86_400.0);
+        let total = light.daily_energy();
+        assert!(
+            idle_energy.joules() / total.joules() > 0.9,
+            "idle share {}",
+            idle_energy.joules() / total.joules()
+        );
+    }
+
+    #[test]
+    fn transfer_dominates_heavy_workloads() {
+        // A camera streaming 500 MB/day through a Bluetooth radio: the
+        // per-bit cost crushes the idle share.
+        let heavy = DailyWorkload::bluetooth(8.0 * 5e8);
+        let idle_energy = heavy.idle_power
+            * (Seconds::new(86_400.0) - heavy.active_seconds());
+        assert!(idle_energy.joules() / heavy.daily_energy().joules() < 0.1);
+    }
+
+    #[test]
+    fn daily_energy_monotone_in_bits() {
+        let a = DailyWorkload::braidio(&plan(), 8e6);
+        let b = DailyWorkload::braidio(&plan(), 8e7);
+        assert!(b.daily_energy() > a.daily_energy());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds a day")]
+    fn impossible_workload_rejected() {
+        // More bits than 1 Mbps can move in 24 h.
+        let w = DailyWorkload::bluetooth(1e6 * 86_400.0 * 2.0);
+        let _ = w.daily_energy();
+    }
+}

@@ -1,0 +1,181 @@
+//! Mobility traces: time-varying separation for dynamic-link experiments.
+//!
+//! §4.2: "the wireless link is dynamic, particularly in a mobile
+//! environment. Braidio simply falls back to the active mode if the current
+//! operating mode is performing poorly … Braidio also periodically
+//! re-computes the ratio of using different modes depending on observed
+//! dynamics." A trace of distances over time is what drives those
+//! dynamics; this module provides deterministic generators for the
+//! scenarios the examples and tests use.
+
+use braidio_units::{Meters, Seconds};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A time-indexed separation trace.
+pub trait MobilityTrace {
+    /// The pair's separation at virtual time `t`.
+    fn distance_at(&mut self, t: Seconds) -> Meters;
+}
+
+/// A static pair (the Figs. 15–17 assumption).
+#[derive(Debug, Clone, Copy)]
+pub struct Static(pub Meters);
+
+impl MobilityTrace for Static {
+    fn distance_at(&mut self, _t: Seconds) -> Meters {
+        self.0
+    }
+}
+
+/// A linear walk from `start` to `end` over `duration`, then hold.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearWalk {
+    /// Separation at t = 0.
+    pub start: Meters,
+    /// Separation at `duration` and after.
+    pub end: Meters,
+    /// Walk duration.
+    pub duration: Seconds,
+}
+
+impl MobilityTrace for LinearWalk {
+    fn distance_at(&mut self, t: Seconds) -> Meters {
+        let f = (t / self.duration).clamp(0.0, 1.0);
+        Meters::new(self.start.meters() + f * (self.end.meters() - self.start.meters()))
+    }
+}
+
+/// A bounded random walk: every `step_interval` the separation moves by a
+/// uniform step in `[-step, +step]`, reflected at `[min, max]`.
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    /// Lower bound on separation.
+    pub min: Meters,
+    /// Upper bound on separation.
+    pub max: Meters,
+    /// Maximum per-step movement.
+    pub step: Meters,
+    /// Time between steps.
+    pub step_interval: Seconds,
+    rng: StdRng,
+    current: Meters,
+    next_step_at: Seconds,
+}
+
+impl RandomWalk {
+    /// A walk starting at `start`, deterministically seeded.
+    pub fn new(start: Meters, min: Meters, max: Meters, step: Meters, interval: Seconds, seed: u64) -> Self {
+        assert!(min <= start && start <= max, "start must lie in [min, max]");
+        assert!(step.meters() > 0.0 && interval.seconds() > 0.0);
+        RandomWalk {
+            min,
+            max,
+            step,
+            step_interval: interval,
+            rng: StdRng::seed_from_u64(seed),
+            current: start,
+            next_step_at: interval,
+        }
+    }
+
+    /// The paper-flavoured default: wandering between 0.3 m and 4 m on a
+    /// 1 s cadence with ≤0.5 m steps (a person drifting around a room).
+    pub fn room(seed: u64) -> Self {
+        RandomWalk::new(
+            Meters::new(1.0),
+            Meters::new(0.3),
+            Meters::new(4.0),
+            Meters::new(0.5),
+            Seconds::new(1.0),
+            seed,
+        )
+    }
+}
+
+impl MobilityTrace for RandomWalk {
+    fn distance_at(&mut self, t: Seconds) -> Meters {
+        while t >= self.next_step_at {
+            let delta = self.rng.random_range(-self.step.meters()..=self.step.meters());
+            let mut next = self.current.meters() + delta;
+            // Reflect at the bounds.
+            if next > self.max.meters() {
+                next = 2.0 * self.max.meters() - next;
+            }
+            if next < self.min.meters() {
+                next = 2.0 * self.min.meters() - next;
+            }
+            self.current = Meters::new(next.clamp(self.min.meters(), self.max.meters()));
+            self.next_step_at += self.step_interval;
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_trace_is_constant() {
+        let mut s = Static(Meters::new(1.5));
+        assert_eq!(s.distance_at(Seconds::ZERO), Meters::new(1.5));
+        assert_eq!(s.distance_at(Seconds::new(1e6)), Meters::new(1.5));
+    }
+
+    #[test]
+    fn linear_walk_interpolates_and_holds() {
+        let mut w = LinearWalk {
+            start: Meters::new(0.5),
+            end: Meters::new(4.5),
+            duration: Seconds::new(10.0),
+        };
+        assert_eq!(w.distance_at(Seconds::ZERO), Meters::new(0.5));
+        assert!((w.distance_at(Seconds::new(5.0)).meters() - 2.5).abs() < 1e-12);
+        assert_eq!(w.distance_at(Seconds::new(10.0)), Meters::new(4.5));
+        assert_eq!(w.distance_at(Seconds::new(100.0)), Meters::new(4.5));
+    }
+
+    #[test]
+    fn random_walk_stays_in_bounds() {
+        let mut w = RandomWalk::room(7);
+        for i in 0..10_000 {
+            let d = w.distance_at(Seconds::new(i as f64 * 0.5));
+            assert!(d >= Meters::new(0.3) && d <= Meters::new(4.0), "{d} at step {i}");
+        }
+    }
+
+    #[test]
+    fn random_walk_actually_moves() {
+        let mut w = RandomWalk::room(3);
+        let d0 = w.distance_at(Seconds::ZERO);
+        let mut moved = false;
+        for i in 1..100 {
+            if w.distance_at(Seconds::new(i as f64)) != d0 {
+                moved = true;
+                break;
+            }
+        }
+        assert!(moved);
+    }
+
+    #[test]
+    fn random_walk_deterministic_per_seed() {
+        let sample = |seed| {
+            let mut w = RandomWalk::room(seed);
+            (0..50)
+                .map(|i| w.distance_at(Seconds::new(i as f64)).meters())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample(9), sample(9));
+        assert_ne!(sample(9), sample(10));
+    }
+
+    #[test]
+    fn time_can_be_queried_monotonically_between_steps() {
+        let mut w = RandomWalk::room(1);
+        let a = w.distance_at(Seconds::new(0.1));
+        let b = w.distance_at(Seconds::new(0.2));
+        assert_eq!(a, b, "no step boundary crossed");
+    }
+}

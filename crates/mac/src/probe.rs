@@ -1,0 +1,217 @@
+//! Link probing (§4.2).
+//!
+//! "The two end-points use probe packets over the two links to determine
+//! the SNR and bitrate parameters, and exchange this information." The
+//! prober sends a short probe in each candidate mode, measures SNR (with
+//! optional shadowing to emulate a real room), and reports the best
+//! operational bitrate per mode. The MAC charges the probe's airtime and
+//! energy to both sides.
+
+use crate::offload::LinkOption;
+use braidio_radio::characterization::{Characterization, Rate, OPERATIONAL_BER};
+use braidio_radio::Mode;
+use braidio_rfsim::fading::Shadowing;
+use braidio_units::{Decibels, Joules, Meters, Seconds};
+
+/// Size of one probe exchange, bits (probe + response at the probed rate).
+pub const PROBE_BITS: f64 = 256.0;
+
+/// Result of probing one mode.
+#[derive(Debug, Clone, Copy)]
+pub struct ModeProbe {
+    /// The probed mode.
+    pub mode: Mode,
+    /// Best operational rate, if any.
+    pub best_rate: Option<Rate>,
+    /// Measured SNR at that rate (or at 10 kbps if nothing worked).
+    pub snr: Decibels,
+}
+
+/// Outcome of a full probing round.
+#[derive(Debug, Clone)]
+pub struct ProbeReport {
+    /// Per-mode results in `Mode::ALL` order.
+    pub probes: Vec<ModeProbe>,
+    /// Time spent probing.
+    pub airtime: Seconds,
+    /// Energy spent at the initiating side.
+    pub energy_initiator: Joules,
+    /// Energy spent at the responding side.
+    pub energy_responder: Joules,
+}
+
+impl ProbeReport {
+    /// The options the offload solver should consider.
+    pub fn options(&self, ch: &Characterization) -> Vec<LinkOption> {
+        self.probes
+            .iter()
+            .filter_map(|p| {
+                let rate = p.best_rate?;
+                let pp = ch.power(p.mode, rate)?;
+                Some(LinkOption {
+                    mode: p.mode,
+                    rate,
+                    tx_cost: pp.tx_energy_per_bit(),
+                    rx_cost: pp.rx_energy_per_bit(),
+                })
+            })
+            .collect()
+    }
+}
+
+/// A prober with optional per-probe shadowing.
+#[derive(Debug)]
+pub struct LinkProber {
+    shadowing: Option<Shadowing>,
+}
+
+impl LinkProber {
+    /// An ideal prober (measures the model SNR exactly).
+    pub fn ideal() -> Self {
+        LinkProber { shadowing: None }
+    }
+
+    /// A prober whose measurements wobble with log-normal shadowing of
+    /// `sigma_db`, deterministically seeded.
+    pub fn with_shadowing(sigma_db: f64, seed: u64) -> Self {
+        LinkProber {
+            shadowing: Some(Shadowing::new(sigma_db, seed)),
+        }
+    }
+
+    /// Probe all modes at distance `d`.
+    pub fn probe(&mut self, ch: &Characterization, d: Meters) -> ProbeReport {
+        let mut probes = Vec::new();
+        let mut airtime = Seconds::ZERO;
+        let mut e_init = Joules::ZERO;
+        let mut e_resp = Joules::ZERO;
+
+        for mode in Mode::ALL {
+            let wobble = match &mut self.shadowing {
+                Some(s) => s.sample(),
+                None => Decibels::ZERO,
+            };
+            // Find the fastest rate whose (shadowed) SNR still clears the
+            // operational threshold.
+            let mut best: Option<(Rate, Decibels)> = None;
+            let mut last_snr = Decibels::new(f64::NEG_INFINITY);
+            for rate in Rate::ALL.into_iter().rev() {
+                if ch.power(mode, rate).is_none() {
+                    continue;
+                }
+                let snr = ch.snr(mode, rate, d) + wobble;
+                last_snr = snr;
+                let ber = match mode {
+                    Mode::Active => braidio_phy::ber::ber_coherent(snr.linear()),
+                    _ => braidio_phy::ber::ber_ook_noncoherent_fast(snr.linear()),
+                };
+                if ber <= OPERATIONAL_BER {
+                    best = Some((rate, snr));
+                    break;
+                }
+            }
+            // Charge the probe exchange: at the probed (or slowest) rate.
+            let rate = best.map(|(r, _)| r).unwrap_or(Rate::Kbps10);
+            if let Some(pp) = ch.power(mode, rate).or_else(|| ch.power(mode, Rate::Mbps1)) {
+                let t = pp.rate.bps().time_for_bits(PROBE_BITS);
+                airtime += t;
+                e_init += pp.tx * t;
+                e_resp += pp.rx * t;
+            }
+            probes.push(ModeProbe {
+                mode,
+                best_rate: best.map(|(r, _)| r),
+                snr: best.map(|(_, s)| s).unwrap_or(last_snr),
+            });
+        }
+        ProbeReport {
+            probes,
+            airtime,
+            energy_initiator: e_init,
+            energy_responder: e_resp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch() -> Characterization {
+        Characterization::braidio()
+    }
+
+    #[test]
+    fn ideal_probe_matches_characterization() {
+        let c = ch();
+        let mut p = LinkProber::ideal();
+        let report = p.probe(&c, Meters::new(0.5));
+        for probe in &report.probes {
+            assert_eq!(
+                probe.best_rate,
+                c.max_rate(probe.mode, Meters::new(0.5)),
+                "{}",
+                probe.mode
+            );
+        }
+    }
+
+    #[test]
+    fn probe_options_feed_the_solver() {
+        let c = ch();
+        let mut p = LinkProber::ideal();
+        let report = p.probe(&c, Meters::new(0.3));
+        let opts = report.options(&c);
+        assert_eq!(opts.len(), 3);
+    }
+
+    #[test]
+    fn probe_costs_are_charged() {
+        let c = ch();
+        let mut p = LinkProber::ideal();
+        let report = p.probe(&c, Meters::new(0.3));
+        assert!(report.airtime > Seconds::ZERO);
+        assert!(report.energy_initiator > Joules::ZERO);
+        assert!(report.energy_responder > Joules::ZERO);
+    }
+
+    #[test]
+    fn far_probe_loses_backscatter() {
+        let c = ch();
+        let mut p = LinkProber::ideal();
+        let report = p.probe(&c, Meters::new(3.0));
+        let bs = report
+            .probes
+            .iter()
+            .find(|x| x.mode == Mode::Backscatter)
+            .unwrap();
+        assert!(bs.best_rate.is_none());
+        assert_eq!(report.options(&c).len(), 2);
+    }
+
+    #[test]
+    fn shadowed_probe_is_deterministic_and_can_differ() {
+        let c = ch();
+        // Same seed -> same report.
+        let r1 = LinkProber::with_shadowing(6.0, 7).probe(&c, Meters::new(1.7));
+        let r2 = LinkProber::with_shadowing(6.0, 7).probe(&c, Meters::new(1.7));
+        for (a, b) in r1.probes.iter().zip(&r2.probes) {
+            assert_eq!(a.best_rate, b.best_rate);
+        }
+        // Near a rate boundary, some seed disagrees with the ideal prober.
+        let ideal = LinkProber::ideal().probe(&c, Meters::new(1.7));
+        let mut any_diff = false;
+        for seed in 0..40u64 {
+            let r = LinkProber::with_shadowing(6.0, seed).probe(&c, Meters::new(1.7));
+            if r.probes
+                .iter()
+                .zip(&ideal.probes)
+                .any(|(a, b)| a.best_rate != b.best_rate)
+            {
+                any_diff = true;
+                break;
+            }
+        }
+        assert!(any_diff, "6 dB shadowing never moved a rate decision?");
+    }
+}

@@ -1,0 +1,272 @@
+//! Line coding for detector-based links: Manchester and FM0.
+//!
+//! A bare OOK bitstream through a high-pass-coupled envelope detector has a
+//! baseline-wander problem: long runs of identical bits decay through the
+//! AC coupling (see `braidio-circuits::filter`). Backscatter standards
+//! therefore use DC-balanced line codes — EPC Gen2 tags use FM0/Miller,
+//! Moo/WISP downlinks use PIE/Manchester variants. We implement the two
+//! classic ones:
+//!
+//! * **Manchester**: each bit becomes two half-symbols, `1 → 10`, `0 → 01`;
+//!   guaranteed transition mid-bit, 2× bandwidth.
+//! * **FM0 (bi-phase space)**: a transition at *every* symbol boundary and
+//!   an extra mid-symbol transition for `0`; same 2× bandwidth but encodes
+//!   by transition placement, so it is polarity-insensitive.
+
+/// A line code transforming data bits into channel half-symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineCode {
+    /// No coding (raw NRZ/OOK).
+    Nrz,
+    /// Manchester (IEEE convention: `1 → 10`, `0 → 01`).
+    Manchester,
+    /// FM0 bi-phase space coding.
+    Fm0,
+}
+
+impl LineCode {
+    /// Channel half-symbols emitted per data bit.
+    pub fn expansion(self) -> usize {
+        match self {
+            LineCode::Nrz => 1,
+            LineCode::Manchester | LineCode::Fm0 => 2,
+        }
+    }
+
+    /// Encode data bits into channel levels.
+    pub fn encode(self, bits: &[bool]) -> Vec<bool> {
+        match self {
+            LineCode::Nrz => bits.to_vec(),
+            LineCode::Manchester => {
+                let mut out = Vec::with_capacity(bits.len() * 2);
+                for &b in bits {
+                    if b {
+                        out.push(true);
+                        out.push(false);
+                    } else {
+                        out.push(false);
+                        out.push(true);
+                    }
+                }
+                out
+            }
+            LineCode::Fm0 => {
+                // State = current line level; invert at every bit boundary,
+                // and additionally mid-bit for a 0.
+                let mut out = Vec::with_capacity(bits.len() * 2);
+                let mut level = true;
+                for &b in bits {
+                    level = !level; // boundary transition
+                    out.push(level);
+                    if !b {
+                        level = !level; // mid-bit transition for 0
+                    }
+                    out.push(level);
+                }
+                out
+            }
+        }
+    }
+
+    /// Decode channel levels back into data bits. Returns `None` if the
+    /// stream length is not a whole number of symbols or (for Manchester)
+    /// an illegal symbol is found.
+    pub fn decode(self, levels: &[bool]) -> Option<Vec<bool>> {
+        match self {
+            LineCode::Nrz => Some(levels.to_vec()),
+            LineCode::Manchester => {
+                if levels.len() % 2 != 0 {
+                    return None;
+                }
+                levels
+                    .chunks(2)
+                    .map(|pair| match (pair[0], pair[1]) {
+                        (true, false) => Some(true),
+                        (false, true) => Some(false),
+                        _ => None, // illegal: no mid-bit transition
+                    })
+                    .collect()
+            }
+            LineCode::Fm0 => {
+                if levels.len() % 2 != 0 {
+                    return None;
+                }
+                // A bit is 1 when the two half-symbols agree (no mid-bit
+                // transition) — polarity never matters.
+                Some(levels.chunks(2).map(|pair| pair[0] == pair[1]).collect())
+            }
+        }
+    }
+
+    /// Decode leniently: illegal symbols (possible during comparator
+    /// settling or around bit-slips) decode to an arbitrary `false` instead
+    /// of failing the whole stream — the frame layer's sync search and CRC
+    /// take care of the residue. Odd trailing half-symbols are dropped.
+    pub fn decode_lossy(self, levels: &[bool]) -> Vec<bool> {
+        match self {
+            LineCode::Nrz => levels.to_vec(),
+            LineCode::Manchester => levels
+                .chunks_exact(2)
+                .map(|pair| match (pair[0], pair[1]) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    _ => false,
+                })
+                .collect(),
+            LineCode::Fm0 => levels
+                .chunks_exact(2)
+                .map(|pair| pair[0] == pair[1])
+                .collect(),
+        }
+    }
+
+    /// Maximum run length of identical channel levels this code can emit
+    /// (what the AC-coupling droop sees).
+    pub fn max_run_length(self) -> Option<usize> {
+        match self {
+            LineCode::Nrz => None, // unbounded
+            LineCode::Manchester | LineCode::Fm0 => Some(2),
+        }
+    }
+
+    /// Is the code insensitive to a global polarity flip (comparator
+    /// inversion)?
+    pub fn polarity_insensitive(self) -> bool {
+        matches!(self, LineCode::Fm0)
+    }
+}
+
+/// DC balance of a level stream: mean of ±1 levels (0 = perfectly
+/// balanced). The figure the high-pass filter cares about.
+pub fn dc_balance(levels: &[bool]) -> f64 {
+    if levels.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = levels.iter().map(|&b| if b { 1.0 } else { -1.0 }).sum();
+    sum / levels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterns() -> Vec<Vec<bool>> {
+        vec![
+            vec![],
+            vec![true],
+            vec![false],
+            vec![true; 64],
+            vec![false; 64],
+            (0..64).map(|i| i % 2 == 0).collect(),
+            (0..64).map(|i| (i * 7) % 3 == 0).collect(),
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        for code in [LineCode::Nrz, LineCode::Manchester, LineCode::Fm0] {
+            for bits in patterns() {
+                let enc = code.encode(&bits);
+                assert_eq!(enc.len(), bits.len() * code.expansion());
+                assert_eq!(code.decode(&enc).unwrap(), bits, "{code:?} {bits:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn manchester_is_dc_balanced_always() {
+        for bits in patterns() {
+            let enc = LineCode::Manchester.encode(&bits);
+            assert_eq!(dc_balance(&enc), 0.0, "{bits:?}");
+        }
+    }
+
+    #[test]
+    fn fm0_balance_bounded_even_on_runs() {
+        // All-ones is FM0's worst case (no mid-bit transitions) but the
+        // boundary transitions alone keep it perfectly alternating.
+        let enc = LineCode::Fm0.encode(&vec![true; 100]);
+        assert!(dc_balance(&enc).abs() < 0.02);
+        // All-zeros: transitions everywhere, balanced too.
+        let enc = LineCode::Fm0.encode(&vec![false; 100]);
+        assert!(dc_balance(&enc).abs() < 0.02);
+    }
+
+    #[test]
+    fn nrz_runs_unbounded_coded_runs_bounded() {
+        let long_run = vec![true; 50];
+        let nrz = LineCode::Nrz.encode(&long_run);
+        assert!(nrz.iter().all(|&b| b)); // 50-long run, droop city
+        for code in [LineCode::Manchester, LineCode::Fm0] {
+            let enc = code.encode(&long_run);
+            let mut max_run = 1;
+            let mut run = 1;
+            for w in enc.windows(2) {
+                if w[0] == w[1] {
+                    run += 1;
+                    max_run = max_run.max(run);
+                } else {
+                    run = 1;
+                }
+            }
+            assert!(
+                max_run <= code.max_run_length().unwrap(),
+                "{code:?} run {max_run}"
+            );
+        }
+    }
+
+    #[test]
+    fn fm0_survives_polarity_flip() {
+        let bits: Vec<bool> = (0..40).map(|i| (i * 5) % 7 < 3).collect();
+        let enc = LineCode::Fm0.encode(&bits);
+        let flipped: Vec<bool> = enc.iter().map(|&b| !b).collect();
+        assert_eq!(LineCode::Fm0.decode(&flipped).unwrap(), bits);
+        // Manchester decodes a flip into the complement (or errors).
+        let menc = LineCode::Manchester.encode(&bits);
+        let mflipped: Vec<bool> = menc.iter().map(|&b| !b).collect();
+        let decoded = LineCode::Manchester.decode(&mflipped).unwrap();
+        assert_ne!(decoded, bits);
+    }
+
+    #[test]
+    fn manchester_rejects_illegal_symbols() {
+        // `11` is not a valid Manchester symbol.
+        assert!(LineCode::Manchester.decode(&[true, true]).is_none());
+        assert!(LineCode::Manchester.decode(&[true]).is_none()); // odd length
+    }
+
+    #[test]
+    fn lossy_decode_matches_strict_on_clean_streams() {
+        for code in [LineCode::Nrz, LineCode::Manchester, LineCode::Fm0] {
+            for bits in patterns() {
+                let enc = code.encode(&bits);
+                assert_eq!(code.decode_lossy(&enc), code.decode(&enc).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_decode_survives_garbage() {
+        // Corrupt one half-symbol into an illegal Manchester pair: strict
+        // decode dies, lossy decode returns the right length with at most
+        // one wrong bit.
+        let bits: Vec<bool> = (0..32).map(|i| i % 3 == 0).collect();
+        let mut enc = LineCode::Manchester.encode(&bits);
+        enc[10] = enc[11]; // make pair 5 illegal
+        assert!(LineCode::Manchester.decode(&enc).is_none());
+        let lossy = LineCode::Manchester.decode_lossy(&enc);
+        assert_eq!(lossy.len(), bits.len());
+        let errors = lossy.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        assert!(errors <= 1);
+    }
+
+    #[test]
+    fn fm0_every_boundary_has_transition() {
+        let bits: Vec<bool> = (0..32).map(|i| i % 5 == 0).collect();
+        let enc = LineCode::Fm0.encode(&bits);
+        for i in (2..enc.len()).step_by(2) {
+            assert_ne!(enc[i - 1], enc[i], "missing boundary transition at {i}");
+        }
+    }
+}

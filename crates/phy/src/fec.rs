@@ -1,0 +1,245 @@
+//! Forward error correction: Hamming(7,4) with interleaving.
+//!
+//! The paper's links are declared operational at BER < 10⁻², where a
+//! 2000-bit frame still fails more often than not; the related work it
+//! cites ("Turbocharging ambient backscatter" [41]) attacks exactly this
+//! with coding. We provide the classic single-error-correcting
+//! Hamming(7,4) — cheap enough for an ATMEGA — plus a block interleaver so
+//! fading bursts are spread into correctable single errors, and the
+//! closed-form post-FEC BER used to size the gain.
+
+/// Hamming(7,4) systematic encoder/decoder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hamming74;
+
+impl Hamming74 {
+    /// Code rate (payload bits per channel bit).
+    pub const RATE: f64 = 4.0 / 7.0;
+
+    /// Encode a nibble (low 4 bits) into a 7-bit codeword (low 7 bits).
+    ///
+    /// Bit layout (LSB first): `[d0 d1 d2 d3 p0 p1 p2]` with
+    /// `p0 = d0⊕d1⊕d3`, `p1 = d0⊕d2⊕d3`, `p2 = d1⊕d2⊕d3`.
+    pub fn encode_nibble(self, nibble: u8) -> u8 {
+        let d = [
+            nibble & 1,
+            (nibble >> 1) & 1,
+            (nibble >> 2) & 1,
+            (nibble >> 3) & 1,
+        ];
+        let p0 = d[0] ^ d[1] ^ d[3];
+        let p1 = d[0] ^ d[2] ^ d[3];
+        let p2 = d[1] ^ d[2] ^ d[3];
+        nibble & 0x0F | (p0 << 4) | (p1 << 5) | (p2 << 6)
+    }
+
+    /// Decode a 7-bit codeword, correcting up to one bit error. Returns the
+    /// nibble and whether a correction was applied.
+    pub fn decode_codeword(self, word: u8) -> (u8, bool) {
+        let b = |i: u8| (word >> i) & 1;
+        let s0 = b(0) ^ b(1) ^ b(3) ^ b(4);
+        let s1 = b(0) ^ b(2) ^ b(3) ^ b(5);
+        let s2 = b(1) ^ b(2) ^ b(3) ^ b(6);
+        let syndrome = (s0, s1, s2);
+        // Map the syndrome to the erroneous bit position (LSB-first layout).
+        let flip = match syndrome {
+            (0, 0, 0) => None,
+            (1, 1, 0) => Some(0),
+            (1, 0, 1) => Some(1),
+            (0, 1, 1) => Some(2),
+            (1, 1, 1) => Some(3),
+            (1, 0, 0) => Some(4),
+            (0, 1, 0) => Some(5),
+            (0, 0, 1) => Some(6),
+            _ => unreachable!(),
+        };
+        let corrected = match flip {
+            Some(i) => word ^ (1 << i),
+            None => word,
+        };
+        (corrected & 0x0F, flip.is_some())
+    }
+
+    /// Encode a bit stream (padded with zeros to a nibble boundary).
+    pub fn encode(self, bits: &[bool]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(bits.len() * 7 / 4 + 7);
+        for chunk in bits.chunks(4) {
+            let mut nibble = 0u8;
+            for (i, &b) in chunk.iter().enumerate() {
+                nibble |= (b as u8) << i;
+            }
+            let cw = self.encode_nibble(nibble);
+            for i in 0..7 {
+                out.push((cw >> i) & 1 == 1);
+            }
+        }
+        out
+    }
+
+    /// Decode a bit stream; truncated trailing codewords are dropped.
+    /// Returns `(bits, corrections)`.
+    pub fn decode(self, bits: &[bool]) -> (Vec<bool>, usize) {
+        let mut out = Vec::with_capacity(bits.len() * 4 / 7 + 4);
+        let mut corrections = 0usize;
+        for chunk in bits.chunks_exact(7) {
+            let mut word = 0u8;
+            for (i, &b) in chunk.iter().enumerate() {
+                word |= (b as u8) << i;
+            }
+            let (nibble, fixed) = self.decode_codeword(word);
+            corrections += fixed as usize;
+            for i in 0..4 {
+                out.push((nibble >> i) & 1 == 1);
+            }
+        }
+        (out, corrections)
+    }
+
+    /// Post-decoding bit error rate for a channel BER `p`, assuming
+    /// independent errors: a codeword fails when ≥ 2 of its 7 bits flip,
+    /// and a failed word corrupts roughly half its payload bits on average
+    /// (upper-bounded here by all 4, the conservative convention).
+    pub fn coded_ber(self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p));
+        let q = 1.0 - p;
+        let p_word_ok = q.powi(7) + 7.0 * p * q.powi(6);
+        (1.0 - p_word_ok).min(1.0)
+            * 0.5 // average fraction of payload bits corrupted in a bad word
+    }
+}
+
+/// A block interleaver: writes row-wise, reads column-wise, spreading a
+/// burst of up to `rows` adjacent channel errors across distinct codewords.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockInterleaver {
+    /// Number of rows (burst tolerance).
+    pub rows: usize,
+    /// Number of columns (codeword span).
+    pub cols: usize,
+}
+
+impl BlockInterleaver {
+    /// An interleaver sized for 7-bit codewords.
+    pub fn for_hamming(rows: usize) -> Self {
+        BlockInterleaver { rows, cols: 7 }
+    }
+
+    /// Interleave exactly `rows × cols` bits (pads with `false`).
+    pub fn interleave(&self, bits: &[bool]) -> Vec<bool> {
+        let n = self.rows * self.cols;
+        let mut padded = bits.to_vec();
+        padded.resize(bits.len().div_ceil(n) * n, false);
+        let mut out = Vec::with_capacity(padded.len());
+        for block in padded.chunks(n) {
+            for c in 0..self.cols {
+                for r in 0..self.rows {
+                    out.push(block[r * self.cols + c]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`BlockInterleaver::interleave`].
+    pub fn deinterleave(&self, bits: &[bool]) -> Vec<bool> {
+        let n = self.rows * self.cols;
+        assert!(bits.len() % n == 0, "deinterleave needs whole blocks");
+        let mut out = Vec::with_capacity(bits.len());
+        for block in bits.chunks(n) {
+            for r in 0..self.rows {
+                for c in 0..self.cols {
+                    out.push(block[c * self.rows + r]);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nibbles_round_trip() {
+        let h = Hamming74;
+        for n in 0..16u8 {
+            let cw = h.encode_nibble(n);
+            let (dec, fixed) = h.decode_codeword(cw);
+            assert_eq!(dec, n);
+            assert!(!fixed);
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_bit_error() {
+        let h = Hamming74;
+        for n in 0..16u8 {
+            let cw = h.encode_nibble(n);
+            for bit in 0..7 {
+                let (dec, fixed) = h.decode_codeword(cw ^ (1 << bit));
+                assert_eq!(dec, n, "nibble {n:x}, flipped bit {bit}");
+                assert!(fixed);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_round_trip_with_scattered_errors() {
+        let h = Hamming74;
+        let bits: Vec<bool> = (0..200).map(|i| (i * 11) % 5 < 2).collect();
+        let mut coded = h.encode(&bits);
+        // One error per codeword: fully correctable.
+        for w in 0..coded.len() / 7 {
+            let idx = w * 7 + (w % 7);
+            coded[idx] = !coded[idx];
+        }
+        let (decoded, corrections) = h.decode(&coded);
+        assert_eq!(&decoded[..bits.len()], &bits[..]);
+        assert_eq!(corrections, coded.len() / 7);
+    }
+
+    #[test]
+    fn interleaver_round_trip() {
+        let il = BlockInterleaver::for_hamming(8);
+        let bits: Vec<bool> = (0..8 * 7 * 3).map(|i| i % 3 == 0).collect();
+        let shuffled = il.interleave(&bits);
+        assert_eq!(il.deinterleave(&shuffled), bits);
+        assert_ne!(shuffled, bits);
+    }
+
+    #[test]
+    fn interleaving_turns_a_burst_into_singles() {
+        let h = Hamming74;
+        let il = BlockInterleaver::for_hamming(8);
+        let bits: Vec<bool> = (0..8 * 4).map(|i| i % 2 == 0).collect(); // 8 codewords
+        let coded = h.encode(&bits);
+        let mut on_air = il.interleave(&coded);
+        // An 8-bit burst on the air...
+        for i in 12..20 {
+            on_air[i] = !on_air[i];
+        }
+        let received = il.deinterleave(&on_air);
+        let (decoded, _) = h.decode(&received);
+        assert_eq!(&decoded[..bits.len()], &bits[..], "burst should be fully corrected");
+        // ...which WITHOUT interleaving would corrupt data.
+        let mut no_il = coded.clone();
+        for i in 12..20 {
+            no_il[i] = !no_il[i];
+        }
+        let (bad, _) = h.decode(&no_il);
+        assert_ne!(&bad[..bits.len()], &bits[..]);
+    }
+
+    #[test]
+    fn coded_ber_beats_raw_where_it_matters() {
+        let h = Hamming74;
+        // At the operational threshold (1e-2) coding wins by ~10x.
+        let raw = 1e-2;
+        let coded = h.coded_ber(raw);
+        assert!(coded < raw / 5.0, "coded {coded:.2e} vs raw {raw:.2e}");
+        // At very high BER the rate loss dominates and coding can't help.
+        assert!(h.coded_ber(0.4) > 0.2);
+        assert_eq!(h.coded_ber(0.0), 0.0);
+    }
+}

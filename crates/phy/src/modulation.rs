@@ -1,0 +1,146 @@
+//! Baseband modulation.
+//!
+//! The passive-receiver and backscatter links use ASK/OOK: the tag toggles
+//! its RF transistor (backscatter TX) or the carrier emitter keys its output
+//! (passive-RX downlink), and the envelope detector sees a two-level
+//! envelope. The active radio uses (G)FSK, but since its receiver is a
+//! conventional coherent chip we only need its analytic BER, not waveforms.
+
+use braidio_units::{BitsPerSecond, Seconds};
+
+/// OOK/ASK envelope waveform generator.
+#[derive(Debug, Clone, Copy)]
+pub struct OokModulator {
+    /// Samples generated per bit.
+    pub samples_per_bit: usize,
+    /// Envelope level for a `1` bit (antenna-referred volts).
+    pub high: f64,
+    /// Envelope level for a `0` bit. A finite extinction ratio models the
+    /// tag's imperfect "absorb" state.
+    pub low: f64,
+}
+
+impl OokModulator {
+    /// A modulator with the given levels and resolution.
+    pub fn new(samples_per_bit: usize, high: f64, low: f64) -> Self {
+        assert!(samples_per_bit >= 2, "need at least 2 samples per bit");
+        assert!(high > low && low >= 0.0, "levels must satisfy high > low >= 0");
+        OokModulator {
+            samples_per_bit,
+            high,
+            low,
+        }
+    }
+
+    /// Full-depth OOK with unit amplitude and 20 samples per bit.
+    pub fn unit() -> Self {
+        OokModulator::new(20, 1.0, 0.0)
+    }
+
+    /// Scale both levels (e.g. by a channel amplitude).
+    pub fn scaled(&self, k: f64) -> Self {
+        OokModulator {
+            samples_per_bit: self.samples_per_bit,
+            high: self.high * k,
+            low: self.low * k,
+        }
+    }
+
+    /// Generate the envelope waveform for a bit sequence.
+    pub fn modulate(&self, bits: &[bool]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(bits.len() * self.samples_per_bit);
+        for &b in bits {
+            let level = if b { self.high } else { self.low };
+            out.extend(std::iter::repeat(level).take(self.samples_per_bit));
+        }
+        out
+    }
+
+    /// The sample interval for a given bitrate.
+    pub fn sample_interval(&self, rate: BitsPerSecond) -> Seconds {
+        rate.bit_time() / self.samples_per_bit as f64
+    }
+
+    /// The mid-bit sample index for bit `i` (where a demodulator should
+    /// sample the settled envelope).
+    pub fn decision_index(&self, i: usize) -> usize {
+        i * self.samples_per_bit + (3 * self.samples_per_bit) / 4
+    }
+
+    /// Modulation depth `(high - low) / high`.
+    pub fn depth(&self) -> f64 {
+        (self.high - self.low) / self.high
+    }
+}
+
+/// The active radio's FSK parameters (BLE-class GFSK): carried for
+/// documentation and for the analytic BER path; no waveform synthesis is
+/// required because the active receiver is a conventional coherent chip.
+#[derive(Debug, Clone, Copy)]
+pub struct FskParams {
+    /// Frequency deviation, hertz.
+    pub deviation_hz: f64,
+    /// Symbol rate (= bitrate for 2-FSK).
+    pub rate: BitsPerSecond,
+}
+
+impl FskParams {
+    /// BLE-class 1 Mbps GFSK (±250 kHz deviation).
+    pub fn ble_1m() -> Self {
+        FskParams {
+            deviation_hz: 250e3,
+            rate: BitsPerSecond::MBPS_1,
+        }
+    }
+
+    /// Modulation index `2·Δf / rate`.
+    pub fn modulation_index(&self) -> f64 {
+        2.0 * self.deviation_hz / self.rate.bps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waveform_shape() {
+        let m = OokModulator::new(4, 1.0, 0.1);
+        let w = m.modulate(&[true, false]);
+        assert_eq!(w, vec![1.0, 1.0, 1.0, 1.0, 0.1, 0.1, 0.1, 0.1]);
+    }
+
+    #[test]
+    fn scaling_preserves_depth() {
+        let m = OokModulator::new(4, 1.0, 0.2);
+        let s = m.scaled(0.01);
+        assert!((m.depth() - s.depth()).abs() < 1e-12);
+        assert!((s.high - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sample_interval_matches_rate() {
+        let m = OokModulator::unit();
+        let dt = m.sample_interval(BitsPerSecond::KBPS_100);
+        assert!((dt.micros() - 0.5).abs() < 1e-12); // 10 µs / 20
+    }
+
+    #[test]
+    fn decision_index_lands_late_in_bit() {
+        let m = OokModulator::new(20, 1.0, 0.0);
+        assert_eq!(m.decision_index(0), 15);
+        assert_eq!(m.decision_index(3), 75);
+    }
+
+    #[test]
+    fn ble_fsk_index() {
+        let f = FskParams::ble_1m();
+        assert!((f.modulation_index() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "high > low")]
+    fn inverted_levels_rejected() {
+        let _ = OokModulator::new(4, 0.1, 0.5);
+    }
+}

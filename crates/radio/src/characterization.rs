@@ -1,0 +1,528 @@
+//! The empirical characterization driving every evaluation experiment.
+//!
+//! §6.3: "we design a simulator that simulates link behavior based on the
+//! above described experimental characterization". This module *is* that
+//! characterization, regenerated from models instead of a testbed:
+//!
+//! * the per-(mode, bitrate) TX/RX power table whose ratios are the corner
+//!   labels of Figs. 9 and 14 (1:2546 … 7800:1);
+//! * detector noise floors calibrated so the BER = 1e-2 crossings land at
+//!   the paper's measured ranges (Fig. 13: 0.9/1.8/2.4 m backscatter,
+//!   3.9/4.2/5.1 m passive);
+//! * BER-vs-distance and mode-availability queries built on
+//!   `braidio-rfsim` link budgets and `braidio-phy` detection statistics.
+
+use crate::mode::Mode;
+use braidio_phy::ber::{ber_coherent, ber_ook_noncoherent, ber_ook_noncoherent_fast, snr_for_ber};
+use braidio_rfsim::noise::CoherentReceiverNoise;
+use braidio_rfsim::LinkBudget;
+use braidio_units::{BitsPerSecond, Decibels, Hertz, JoulesPerBit, Meters, Watts};
+
+/// The three canonical Braidio bitrates, as a hashable enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rate {
+    /// 10 kbps.
+    Kbps10,
+    /// 100 kbps.
+    Kbps100,
+    /// 1 Mbps.
+    Mbps1,
+}
+
+impl Rate {
+    /// All rates, slowest first.
+    pub const ALL: [Rate; 3] = [Rate::Kbps10, Rate::Kbps100, Rate::Mbps1];
+
+    /// The corresponding typed bitrate.
+    pub fn bps(self) -> BitsPerSecond {
+        match self {
+            Rate::Kbps10 => BitsPerSecond::KBPS_10,
+            Rate::Kbps100 => BitsPerSecond::KBPS_100,
+            Rate::Mbps1 => BitsPerSecond::MBPS_1,
+        }
+    }
+
+    /// Short label for experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rate::Kbps10 => "10k",
+            Rate::Kbps100 => "100k",
+            Rate::Mbps1 => "1M",
+        }
+    }
+}
+
+/// One row of the power table: what each side draws while moving data in a
+/// given mode at a given bitrate.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerPoint {
+    /// Operating mode.
+    pub mode: Mode,
+    /// Bitrate.
+    pub rate: Rate,
+    /// Data-transmitter power draw.
+    pub tx: Watts,
+    /// Data-receiver power draw.
+    pub rx: Watts,
+}
+
+impl PowerPoint {
+    /// Transmit-side energy per bit (`Tᵢ` in Eq. 1).
+    pub fn tx_energy_per_bit(&self) -> JoulesPerBit {
+        self.tx / self.rate.bps()
+    }
+
+    /// Receive-side energy per bit (`Rᵢ` in Eq. 1).
+    pub fn rx_energy_per_bit(&self) -> JoulesPerBit {
+        self.rx / self.rate.bps()
+    }
+
+    /// The TX:RX power ratio (the corner labels of Figs. 9/14).
+    pub fn power_ratio(&self) -> f64 {
+        self.tx / self.rx
+    }
+}
+
+/// The BER threshold the paper uses to call a link "operational"
+/// (Fig. 13: "for BER < 0.01").
+pub const OPERATIONAL_BER: f64 = 1e-2;
+
+/// The full Braidio characterization.
+#[derive(Debug, Clone)]
+pub struct Characterization {
+    /// RF link parameters shared by all modes.
+    pub budget: LinkBudget,
+    /// RF carrier power (SI4432 at 13 dBm).
+    pub carrier_rf: Watts,
+    /// Active radio RF output (BLE-class, 0 dBm).
+    pub active_rf: Watts,
+    /// Power table (7 rows: active@1M, passive×3, backscatter×3).
+    points: Vec<PowerPoint>,
+    /// Calibrated detector noise-equivalent power per (mode, rate).
+    noise: Vec<((Mode, Rate), Watts)>,
+    /// Active receiver noise model.
+    active_noise: Watts,
+    /// SNR (linear) at which noncoherent OOK hits [`OPERATIONAL_BER`].
+    gamma_star: f64,
+}
+
+/// The measured BER = 1e-2 range anchors (Fig. 13).
+fn range_anchor(mode: Mode, rate: Rate) -> Option<Meters> {
+    let m = match (mode, rate) {
+        (Mode::Backscatter, Rate::Mbps1) => 0.9,
+        (Mode::Backscatter, Rate::Kbps100) => 1.8,
+        (Mode::Backscatter, Rate::Kbps10) => 2.4,
+        (Mode::Passive, Rate::Mbps1) => 3.9,
+        (Mode::Passive, Rate::Kbps100) => 4.2,
+        (Mode::Passive, Rate::Kbps10) => 5.1,
+        (Mode::Active, _) => return None,
+    };
+    Some(Meters::new(m))
+}
+
+impl Characterization {
+    /// The Braidio board as characterized in §6 (see DESIGN.md §3 for the
+    /// full provenance of every constant).
+    pub fn braidio() -> Self {
+        use Mode::*;
+        use Rate::*;
+        let points = vec![
+            // Active: the SPBT2632C2 module (Table 4) at 1 Mbps, module-level
+            // draw. The 0.9524:1 TX:RX ratio is Fig. 9's label for point A;
+            // the absolute level is calibrated so that (a) point A lies
+            // *inside* triangle ABC (the paper's "optimal operating points
+            // lie on line BC" geometry) and (b) the equal-battery Braidio
+            // gain over Bluetooth is the 1.43x of Fig. 15's diagonal.
+            PowerPoint {
+                mode: Active,
+                rate: Mbps1,
+                tx: Watts::from_milliwatts(86.49),
+                rx: Watts::from_milliwatts(90.81),
+            },
+            // Passive receiver mode: TX runs the SI4432 carrier (125 mW);
+            // RX is the envelope-detector chain plus decode share.
+            PowerPoint {
+                mode: Passive,
+                rate: Mbps1,
+                tx: Watts::from_milliwatts(125.0),
+                rx: Watts::from_microwatts(49.10),
+            },
+            PowerPoint {
+                mode: Passive,
+                rate: Kbps100,
+                tx: Watts::from_milliwatts(125.0),
+                rx: Watts::from_microwatts(31.25),
+            },
+            PowerPoint {
+                mode: Passive,
+                rate: Kbps10,
+                tx: Watts::from_milliwatts(125.0),
+                rx: Watts::from_microwatts(22.32),
+            },
+            // Backscatter mode: RX runs the carrier + amp + decode
+            // (129 mW); TX is the switch-toggling tag.
+            PowerPoint {
+                mode: Backscatter,
+                rate: Mbps1,
+                tx: Watts::from_microwatts(36.38),
+                rx: Watts::from_milliwatts(129.0),
+            },
+            PowerPoint {
+                mode: Backscatter,
+                rate: Kbps100,
+                tx: Watts::from_microwatts(23.15),
+                rx: Watts::from_milliwatts(129.0),
+            },
+            PowerPoint {
+                mode: Backscatter,
+                rate: Kbps10,
+                tx: Watts::from_microwatts(16.54),
+                rx: Watts::from_milliwatts(129.0),
+            },
+        ];
+
+        let budget = LinkBudget::default();
+        let carrier_rf = Watts::from_dbm(13.0);
+        let active_rf = Watts::from_dbm(0.0);
+        // The operational-threshold SNR is a pure constant of the detection
+        // statistics; computing it involves a bisection over Marcum-Q
+        // evaluations, so cache it process-wide.
+        use std::sync::OnceLock;
+        static GAMMA_STAR: OnceLock<f64> = OnceLock::new();
+        let gamma_star = *GAMMA_STAR
+            .get_or_init(|| snr_for_ber(ber_ook_noncoherent, OPERATIONAL_BER, 0.1, 1e4));
+
+        // Calibrate the detector noise floor per (mode, rate) so that the
+        // link hits OPERATIONAL_BER exactly at the measured anchor range.
+        let mut noise = Vec::new();
+        for mode in [Mode::Passive, Mode::Backscatter] {
+            for rate in Rate::ALL {
+                let anchor = range_anchor(mode, rate).expect("anchored");
+                let rx = budget.received_power(mode.link_kind(), carrier_rf, anchor);
+                noise.push(((mode, rate), rx / gamma_star));
+            }
+        }
+
+        // Active receiver: thermal noise + 10 dB NF in a 1 MHz bandwidth.
+        let active_noise = CoherentReceiverNoise {
+            noise_figure: Decibels::new(10.0),
+            bandwidth: Hertz::from_mhz(1.0),
+        }
+        .power();
+
+        Characterization {
+            budget,
+            carrier_rf,
+            active_rf,
+            points,
+            noise,
+            active_noise,
+            gamma_star,
+        }
+    }
+
+    /// A variant board with a different carrier output power.
+    ///
+    /// The detector noise floors are hardware constants (they do not move
+    /// with the carrier), so ranges shrink or grow per the link budget; the
+    /// carrier-dependent rows of the power table are re-derived from the
+    /// SI4432 draw curve. This is the entry point for "what if the carrier
+    /// ran at X dBm" studies.
+    pub fn with_carrier_dbm(mut self, dbm: f64) -> Self {
+        let emitter = braidio_circuits::carrier::CarrierEmitter::si4432();
+        let old_draw = emitter.draw_at(self.carrier_rf);
+        let new_draw = emitter.draw_at_dbm(dbm);
+        self.carrier_rf = Watts::from_dbm(dbm);
+        for p in self.points.iter_mut() {
+            match p.mode {
+                // Passive TX and backscatter RX own the carrier: swap the
+                // emitter's share of their draw.
+                Mode::Passive => p.tx = p.tx - old_draw + new_draw,
+                Mode::Backscatter => p.rx = p.rx - old_draw + new_draw,
+                Mode::Active => {}
+            }
+        }
+        self
+    }
+
+    /// The power-table row for a mode/rate, if that combination exists
+    /// (the active radio only runs at 1 Mbps).
+    pub fn power(&self, mode: Mode, rate: Rate) -> Option<PowerPoint> {
+        self.points
+            .iter()
+            .copied()
+            .find(|p| p.mode == mode && p.rate == rate)
+    }
+
+    /// All power-table rows.
+    pub fn power_table(&self) -> &[PowerPoint] {
+        &self.points
+    }
+
+    /// The calibrated SNR (linear) for the operational-BER threshold.
+    pub fn gamma_star(&self) -> f64 {
+        self.gamma_star
+    }
+
+    /// Detector noise-equivalent power for a detector-based mode.
+    pub fn detector_noise(&self, mode: Mode, rate: Rate) -> Option<Watts> {
+        self.noise
+            .iter()
+            .find(|(k, _)| *k == (mode, rate))
+            .map(|&(_, n)| n)
+    }
+
+    /// Received signal power at the data receiver for a mode at distance
+    /// `d`.
+    pub fn received_power(&self, mode: Mode, d: Meters) -> Watts {
+        let source = match mode {
+            Mode::Active => self.active_rf,
+            Mode::Passive | Mode::Backscatter => self.carrier_rf,
+        };
+        self.budget.received_power(mode.link_kind(), source, d)
+    }
+
+    /// SNR at the data receiver, dB.
+    pub fn snr(&self, mode: Mode, rate: Rate, d: Meters) -> Decibels {
+        let rx = self.received_power(mode, d);
+        let noise = match mode {
+            Mode::Active => self.active_noise,
+            _ => self.detector_noise(mode, rate).expect("calibrated"),
+        };
+        rx.ratio_db(noise)
+    }
+
+    /// Bit error rate of a mode/rate at distance `d`.
+    pub fn ber(&self, mode: Mode, rate: Rate, d: Meters) -> f64 {
+        if self.power(mode, rate).is_none() {
+            return 0.5;
+        }
+        let gamma = self.snr(mode, rate, d).linear();
+        match mode {
+            Mode::Active => ber_coherent(gamma),
+            Mode::Passive | Mode::Backscatter => ber_ook_noncoherent_fast(gamma),
+        }
+    }
+
+    /// Is this mode/rate operational (BER below threshold) at `d`?
+    pub fn available(&self, mode: Mode, rate: Rate, d: Meters) -> bool {
+        self.ber(mode, rate, d) <= OPERATIONAL_BER
+    }
+
+    /// The fastest operational rate for a mode at `d`, if any.
+    pub fn max_rate(&self, mode: Mode, d: Meters) -> Option<Rate> {
+        Rate::ALL
+            .into_iter()
+            .rev()
+            .find(|&r| self.power(mode, r).is_some() && self.available(mode, r, d))
+    }
+
+    /// The operational range (BER = threshold crossing) of a mode/rate, by
+    /// bisection.
+    pub fn range(&self, mode: Mode, rate: Rate) -> Option<Meters> {
+        if self.power(mode, rate).is_none() {
+            return None;
+        }
+        if self.ber(mode, rate, Meters::new(0.05)) > OPERATIONAL_BER {
+            return None;
+        }
+        let (mut lo, mut hi) = (0.05f64, 500.0f64);
+        if self.ber(mode, rate, Meters::new(hi)) <= OPERATIONAL_BER {
+            return Some(Meters::new(hi));
+        }
+        for _ in 0..48 {
+            let mid = 0.5 * (lo + hi);
+            if self.ber(mode, rate, Meters::new(mid)) <= OPERATIONAL_BER {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(Meters::new(0.5 * (lo + hi)))
+    }
+}
+
+impl Default for Characterization {
+    fn default() -> Self {
+        Characterization::braidio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch() -> Characterization {
+        Characterization::braidio()
+    }
+
+    #[test]
+    fn power_ratios_match_fig14_labels() {
+        let c = ch();
+        let cases = [
+            (Mode::Active, Rate::Mbps1, 0.9524),
+            (Mode::Passive, Rate::Mbps1, 2546.0),
+            (Mode::Passive, Rate::Kbps100, 4000.0),
+            (Mode::Passive, Rate::Kbps10, 5600.0),
+            (Mode::Backscatter, Rate::Mbps1, 1.0 / 3546.0),
+            (Mode::Backscatter, Rate::Kbps100, 1.0 / 5571.0),
+            (Mode::Backscatter, Rate::Kbps10, 1.0 / 7800.0),
+        ];
+        for (mode, rate, expected) in cases {
+            let r = c.power(mode, rate).unwrap().power_ratio();
+            assert!(
+                (r / expected - 1.0).abs() < 0.01,
+                "{mode} {}: ratio {r} vs {expected}",
+                rate.label()
+            );
+        }
+    }
+
+    #[test]
+    fn power_range_spans_paper_envelope() {
+        // "consumes between 16uW – 129mW across the different modes".
+        let c = ch();
+        let mut min = Watts::new(f64::MAX);
+        let mut max = Watts::ZERO;
+        for p in c.power_table() {
+            min = min.min(p.tx).min(p.rx);
+            max = max.max(p.tx).max(p.rx);
+        }
+        assert!((min.microwatts() - 16.54).abs() < 0.01, "min {min}");
+        assert!((max.milliwatts() - 129.0).abs() < 0.01, "max {max}");
+    }
+
+    #[test]
+    fn ranges_hit_the_fig13_anchors() {
+        let c = ch();
+        let cases = [
+            (Mode::Backscatter, Rate::Mbps1, 0.9),
+            (Mode::Backscatter, Rate::Kbps100, 1.8),
+            (Mode::Backscatter, Rate::Kbps10, 2.4),
+            (Mode::Passive, Rate::Mbps1, 3.9),
+            (Mode::Passive, Rate::Kbps100, 4.2),
+            (Mode::Passive, Rate::Kbps10, 5.1),
+        ];
+        for (mode, rate, expect) in cases {
+            let r = c.range(mode, rate).unwrap();
+            assert!(
+                (r.meters() - expect).abs() < 0.02,
+                "{mode} {} range {r} vs {expect} m",
+                rate.label()
+            );
+        }
+    }
+
+    #[test]
+    fn active_mode_works_well_beyond_6m() {
+        let c = ch();
+        assert!(c.available(Mode::Active, Rate::Mbps1, Meters::new(6.0)));
+        assert!(c.range(Mode::Active, Rate::Mbps1).unwrap() > Meters::new(20.0));
+    }
+
+    #[test]
+    fn ber_monotone_in_distance() {
+        let c = ch();
+        for mode in [Mode::Passive, Mode::Backscatter] {
+            let mut prev = 0.0;
+            for d in [0.3, 0.9, 1.5, 2.4, 4.0, 6.0] {
+                let b = c.ber(mode, Rate::Kbps100, Meters::new(d));
+                assert!(b >= prev - 1e-12, "{mode} at {d} m");
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn max_rate_degrades_with_distance() {
+        let c = ch();
+        // Backscatter: 1M -> 100k -> 10k -> unavailable (Fig. 14's story).
+        assert_eq!(c.max_rate(Mode::Backscatter, Meters::new(0.3)), Some(Rate::Mbps1));
+        assert_eq!(
+            c.max_rate(Mode::Backscatter, Meters::new(1.2)),
+            Some(Rate::Kbps100)
+        );
+        assert_eq!(
+            c.max_rate(Mode::Backscatter, Meters::new(2.0)),
+            Some(Rate::Kbps10)
+        );
+        assert_eq!(c.max_rate(Mode::Backscatter, Meters::new(3.0)), None);
+        // Passive holds on much longer.
+        assert_eq!(c.max_rate(Mode::Passive, Meters::new(3.0)), Some(Rate::Mbps1));
+        assert_eq!(c.max_rate(Mode::Passive, Meters::new(5.5)), None);
+    }
+
+    #[test]
+    fn active_only_at_1mbps() {
+        let c = ch();
+        assert!(c.power(Mode::Active, Rate::Mbps1).is_some());
+        assert!(c.power(Mode::Active, Rate::Kbps100).is_none());
+        assert!(c.range(Mode::Active, Rate::Kbps10).is_none());
+    }
+
+    #[test]
+    fn energy_per_bit_math() {
+        let c = ch();
+        let p = c.power(Mode::Passive, Rate::Mbps1).unwrap();
+        assert!((p.tx_energy_per_bit().nanojoules_per_bit() - 125.0).abs() < 1e-9);
+        assert!((p.rx_energy_per_bit().nanojoules_per_bit() - 0.0491).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snr_at_anchor_equals_gamma_star() {
+        let c = ch();
+        let snr = c.snr(Mode::Backscatter, Rate::Kbps100, Meters::new(1.8));
+        assert!(
+            (snr.linear() / c.gamma_star() - 1.0).abs() < 1e-6,
+            "calibration broken: {snr}"
+        );
+    }
+
+    #[test]
+    fn carrier_variant_at_13dbm_is_identity() {
+        let base = ch();
+        let same = ch().with_carrier_dbm(13.0);
+        for (a, b) in base.power_table().iter().zip(same.power_table()) {
+            assert!((a.tx.watts() - b.tx.watts()).abs() < 1e-12);
+            assert!((a.rx.watts() - b.rx.watts()).abs() < 1e-12);
+        }
+        assert_eq!(
+            base.range(Mode::Backscatter, Rate::Kbps100).unwrap().meters(),
+            same.range(Mode::Backscatter, Rate::Kbps100).unwrap().meters()
+        );
+    }
+
+    #[test]
+    fn quieter_carrier_shrinks_range_and_saves_power() {
+        let base = ch();
+        let quiet = ch().with_carrier_dbm(7.0);
+        let r_base = base.range(Mode::Backscatter, Rate::Kbps100).unwrap();
+        let r_quiet = quiet.range(Mode::Backscatter, Rate::Kbps100).unwrap();
+        assert!(r_quiet < r_base, "{r_quiet} vs {r_base}");
+        let p_base = base.power(Mode::Passive, Rate::Mbps1).unwrap().tx;
+        let p_quiet = quiet.power(Mode::Passive, Rate::Mbps1).unwrap().tx;
+        assert!(
+            (p_base - p_quiet).milliwatts() > 50.0,
+            "6 dB back-off should save > 50 mW of PA drain"
+        );
+        // Backscatter tag TX (no carrier) is untouched.
+        assert_eq!(
+            base.power(Mode::Backscatter, Rate::Mbps1).unwrap().tx,
+            quiet.power(Mode::Backscatter, Rate::Mbps1).unwrap().tx
+        );
+    }
+
+    #[test]
+    fn louder_carrier_extends_backscatter_range() {
+        let loud = ch().with_carrier_dbm(17.0);
+        let r = loud.range(Mode::Backscatter, Rate::Kbps100).unwrap();
+        assert!(r > Meters::new(2.0), "17 dBm range {r}");
+    }
+
+    #[test]
+    fn gamma_star_in_expected_window() {
+        let c = ch();
+        let db = 10.0 * c.gamma_star().log10();
+        assert!((8.0..=11.5).contains(&db), "gamma* {db} dB");
+    }
+}

@@ -1,0 +1,34 @@
+//! Radio device models for the Braidio reproduction.
+//!
+//! This crate is the boundary between physics (`braidio-rfsim`,
+//! `braidio-circuits`, `braidio-phy`) and protocol (`braidio-mac`): it
+//! packages the paper's hardware into parameterized models.
+//!
+//! * [`mode`] — the three §4 operating modes (named after receiver state).
+//! * [`characterization`] — the empirical characterization the paper's
+//!   simulator is driven by: per-(mode, bitrate) TX/RX power, link-budget
+//!   calibration anchored to the measured BER = 1e-2 ranges, and the
+//!   per-mode BER/availability queries (regenerates Figs. 13–14 inputs).
+//! * [`switching`] — Table 5 mode-switch energy overheads.
+//! * [`battery`] — energy stores with draw accounting.
+//! * [`devices`] — the Fig. 1 battery catalog, Nike Fuel Band → MacBook 15".
+//! * [`bluetooth`] — Table 1 chips and the simulation baseline radio.
+//! * [`reader`] — Table 2 commercial RFID readers and the AS3993 baseline
+//!   of Figs. 11–12.
+//! * [`hardware`] — Table 4 bill of materials.
+
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod bluetooth;
+pub mod characterization;
+pub mod devices;
+pub mod hardware;
+pub mod mode;
+pub mod reader;
+pub mod switching;
+pub mod versions;
+
+pub use battery::Battery;
+pub use characterization::Characterization;
+pub use mode::{Mode, Role};

@@ -1,0 +1,190 @@
+//! Commercial RFID reader models.
+//!
+//! * The Table 2 survey: why commercial readers are watt-class devices.
+//! * The AS3993 "Fermi" reader model — the paper's hardware baseline
+//!   (Fig. 11's adapter board), used in Fig. 12's BER-vs-distance and
+//!   5× power-efficiency comparison.
+
+use braidio_phy::ber::ber_coherent;
+use braidio_rfsim::{LinkBudget, LinkKind};
+use braidio_units::{Meters, Watts};
+
+/// A Table 2 row: a commercial UHF RFID reader chip.
+#[derive(Debug, Clone, Copy)]
+pub struct ReaderChip {
+    /// Part name.
+    pub name: &'static str,
+    /// Total power consumption at the quoted output power.
+    pub total_power: Watts,
+    /// Output power at which `total_power` was quoted, dBm.
+    pub at_dbm: f64,
+    /// Estimated receive-side power consumption.
+    pub rx_power: Watts,
+    /// Unit cost, USD.
+    pub cost_usd: f64,
+}
+
+/// The Table 2 survey.
+pub fn table2() -> Vec<ReaderChip> {
+    vec![
+        ReaderChip {
+            name: "AS3993",
+            total_power: Watts::new(0.64),
+            at_dbm: 17.0,
+            rx_power: Watts::new(0.25),
+            cost_usd: 397.0,
+        },
+        ReaderChip {
+            name: "AS3992",
+            total_power: Watts::new(0.73),
+            at_dbm: 20.0,
+            rx_power: Watts::new(0.26),
+            cost_usd: 303.0,
+        },
+        ReaderChip {
+            name: "R2000",
+            total_power: Watts::new(1.0),
+            at_dbm: 12.0,
+            rx_power: Watts::new(0.88),
+            cost_usd: 419.0,
+        },
+        ReaderChip {
+            name: "R1000",
+            total_power: Watts::new(1.0),
+            at_dbm: 12.0,
+            rx_power: Watts::new(0.95),
+            cost_usd: 500.0,
+        },
+        ReaderChip {
+            name: "M6e",
+            total_power: Watts::new(4.2),
+            at_dbm: 17.0,
+            rx_power: Watts::new(4.0),
+            cost_usd: 398.0,
+        },
+        ReaderChip {
+            name: "M6e-micro",
+            total_power: Watts::new(2.5),
+            at_dbm: 23.0,
+            rx_power: Watts::new(2.5),
+            cost_usd: 285.0,
+        },
+    ]
+}
+
+/// The AS3993 baseline reader as modelled for Fig. 12.
+///
+/// A coherent IQ receiver behind active self-interference handling: better
+/// sensitivity than Braidio's passive chain (3 m vs 1.8 m at 100 kbps) at
+/// 5× the power (640 mW vs 129 mW).
+#[derive(Debug, Clone)]
+pub struct CommercialReader {
+    /// RF link parameters.
+    pub budget: LinkBudget,
+    /// Carrier output power (17 dBm for the AS3993 configuration).
+    pub carrier_rf: Watts,
+    /// Total power draw while reading.
+    pub total_power: Watts,
+    /// Calibrated receiver noise floor.
+    noise: Watts,
+}
+
+impl CommercialReader {
+    /// BER threshold defining "operational" (matches the Braidio
+    /// characterization).
+    pub const OPERATIONAL_BER: f64 = 1e-2;
+
+    /// The AS3993 at 100 kbps, calibrated to its measured 3 m range.
+    pub fn as3993() -> Self {
+        let budget = LinkBudget {
+            // The reader board uses a proper patch antenna, not a chip
+            // antenna; its tag-side loss matches Braidio's tag.
+            rx_antenna_gain: braidio_units::Decibels::new(2.0),
+            ..LinkBudget::default()
+        };
+        let carrier_rf = Watts::from_dbm(17.0);
+        // Calibrate the coherent receiver's noise floor so BER = 1e-2 at
+        // exactly 3 m (the Fig. 12 measurement).
+        let gamma_star = braidio_phy::ber::snr_for_ber(ber_coherent, Self::OPERATIONAL_BER, 0.1, 1e4);
+        let rx_at_anchor =
+            budget.received_power(LinkKind::Backscatter, carrier_rf, Meters::new(3.0));
+        CommercialReader {
+            budget,
+            carrier_rf,
+            total_power: Watts::new(0.64),
+            noise: rx_at_anchor / gamma_star,
+        }
+    }
+
+    /// BER reading a tag at distance `d` (100 kbps).
+    pub fn ber(&self, d: Meters) -> f64 {
+        let rx = self
+            .budget
+            .received_power(LinkKind::Backscatter, self.carrier_rf, d);
+        ber_coherent(rx.ratio_db(self.noise).linear())
+    }
+
+    /// Operational read range (BER threshold crossing).
+    pub fn range(&self) -> Meters {
+        let (mut lo, mut hi) = (0.05f64, 100.0f64);
+        for _ in 0..48 {
+            let mid = 0.5 * (lo + hi);
+            if self.ber(Meters::new(mid)) <= Self::OPERATIONAL_BER {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Meters::new(0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_is_watt_class() {
+        for chip in table2() {
+            assert!(
+                chip.total_power >= Watts::new(0.6),
+                "{} below the paper's several-hundred-mW floor",
+                chip.name
+            );
+        }
+    }
+
+    #[test]
+    fn as3993_is_the_cheapest_power() {
+        let t = table2();
+        let as3993 = &t[0];
+        assert!(t.iter().all(|c| c.total_power >= as3993.total_power));
+    }
+
+    #[test]
+    fn range_calibrated_to_3m() {
+        let r = CommercialReader::as3993();
+        let range = r.range();
+        assert!((range.meters() - 3.0).abs() < 0.02, "range {range}");
+    }
+
+    #[test]
+    fn ber_monotone() {
+        let r = CommercialReader::as3993();
+        let mut prev = 0.0;
+        for d in [0.5, 1.0, 2.0, 3.0, 3.5, 4.0] {
+            let b = r.ber(Meters::new(d));
+            assert!(b >= prev - 1e-12);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn five_times_braidio_power() {
+        // Fig. 12's headline: 640 mW vs 129 mW ≈ 5x.
+        let r = CommercialReader::as3993();
+        let braidio_reader = Watts::from_milliwatts(129.0);
+        let ratio = r.total_power / braidio_reader;
+        assert!((ratio - 4.96).abs() < 0.1, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,111 @@
+//! The Braidio hardware lineage (§5) and the reader-technique comparison
+//! (Table 3).
+//!
+//! The design went through three iterations, each attacking the
+//! backscatter-receiver power problem differently; the final version is the
+//! one the whole characterization describes. Keeping the lineage as data
+//! lets the ablation experiments show *why* each technique was abandoned.
+
+use braidio_units::Watts;
+
+/// One hardware iteration of Braidio.
+#[derive(Debug, Clone, Copy)]
+pub struct HardwareVersion {
+    /// Version number (1-based).
+    pub version: u8,
+    /// Reader-side (backscatter-mode receiver) approach.
+    pub approach: &'static str,
+    /// Measured/derived reader-side power while receiving backscatter.
+    pub reader_power: Watts,
+    /// Why it was (or was not) kept.
+    pub verdict: &'static str,
+}
+
+/// The three §5 iterations.
+pub fn lineage() -> [HardwareVersion; 3] {
+    [
+        HardwareVersion {
+            version: 1,
+            approach: "off-the-shelf: CC2541 BLE + AS3993 reader IC + Moo tag",
+            reader_power: Watts::new(0.64),
+            verdict: "highly unsatisfactory from a power perspective",
+        },
+        HardwareVersion {
+            version: 2,
+            approach: "directional coupler isolation + Zero-IF direct conversion",
+            reader_power: Watts::from_milliwatts(240.0),
+            verdict: "reader alone combined more than 240 mW",
+        },
+        HardwareVersion {
+            version: 3,
+            approach: "passive charge-pump detector + high-pass SI rejection + antenna diversity",
+            reader_power: Watts::from_milliwatts(129.0),
+            verdict: "final design: tag-like parts, 129 mW including the carrier",
+        },
+    ]
+}
+
+/// One row of Table 3: how a commercial reader and Braidio solve the same
+/// problem.
+#[derive(Debug, Clone, Copy)]
+pub struct TechniqueRow {
+    /// The problem being solved.
+    pub problem: &'static str,
+    /// The commercial reader's technique and its cost.
+    pub commercial: &'static str,
+    /// Braidio's technique and its trade.
+    pub braidio: &'static str,
+}
+
+/// Table 3: commercial reader vs Braidio, technique by technique.
+pub fn table3() -> [TechniqueRow; 3] {
+    [
+        TechniqueRow {
+            problem: "Phase cancellation",
+            commercial: "IQ-based orthogonal receiver — robust, but two mixer/filter/IF chains at high power",
+            braidio: "two spatially separated antennas — passive, low power; cannot eliminate every null",
+        },
+        TechniqueRow {
+            problem: "Signal amplification",
+            commercial: "RF LNA + IF amplifier + DSP — better sensitivity at high power",
+            braidio: "charge pump boost + baseband instrumentation amplifier — lower power, lower sensitivity",
+        },
+        TechniqueRow {
+            problem: "Frequency selection",
+            commercial: "mixer + low-pass filter — good selectivity at high power",
+            braidio: "passive SAW filter — zero power; in-band interference still gets through",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_strictly_improves_across_versions() {
+        let l = lineage();
+        assert!(l[0].reader_power > l[1].reader_power);
+        assert!(l[1].reader_power > l[2].reader_power);
+    }
+
+    #[test]
+    fn final_version_matches_characterization() {
+        let v3 = lineage()[2];
+        assert_eq!(v3.reader_power, Watts::from_milliwatts(129.0));
+    }
+
+    #[test]
+    fn v1_is_the_as3993_power() {
+        assert_eq!(lineage()[0].reader_power, Watts::new(0.64));
+    }
+
+    #[test]
+    fn table3_covers_three_problems() {
+        let t = table3();
+        assert_eq!(t.len(), 3);
+        assert!(t.iter().any(|r| r.problem.contains("Phase")));
+        assert!(t.iter().any(|r| r.problem.contains("amplification")));
+        assert!(t.iter().any(|r| r.problem.contains("Frequency")));
+    }
+}

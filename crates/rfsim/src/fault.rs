@@ -1,0 +1,158 @@
+//! Fault injection for link-level experiments.
+//!
+//! Mirrors smoltcp's example fault-injection options: a drop chance and a
+//! corrupt chance applied per packet, driven by a seeded RNG so experiment
+//! runs are reproducible. The MAC-layer simulator consults this on every
+//! packet in addition to the BER-derived loss probability.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What the injector decided about one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver unchanged.
+    Deliver,
+    /// Drop silently.
+    Drop,
+    /// Deliver with a corrupted payload (fails CRC at the receiver).
+    Corrupt,
+}
+
+/// Per-packet fault injector.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    drop_chance: f64,
+    corrupt_chance: f64,
+    rng: StdRng,
+    stats: FaultStats,
+}
+
+/// Counters of injector decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets delivered unchanged.
+    pub delivered: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Packets corrupted.
+    pub corrupted: u64,
+}
+
+impl FaultStats {
+    /// Total packets processed.
+    pub fn total(&self) -> u64 {
+        self.delivered + self.dropped + self.corrupted
+    }
+}
+
+impl FaultInjector {
+    /// Create an injector. Chances are probabilities in `[0, 1]` and their
+    /// sum must not exceed 1.
+    pub fn new(drop_chance: f64, corrupt_chance: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_chance) && (0.0..=1.0).contains(&corrupt_chance),
+            "chances must be probabilities"
+        );
+        assert!(
+            drop_chance + corrupt_chance <= 1.0,
+            "drop + corrupt cannot exceed 1"
+        );
+        FaultInjector {
+            drop_chance,
+            corrupt_chance,
+            rng: StdRng::seed_from_u64(seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// An injector that never interferes.
+    pub fn transparent() -> Self {
+        FaultInjector::new(0.0, 0.0, 0)
+    }
+
+    /// Decide the fate of the next packet.
+    pub fn judge(&mut self) -> Verdict {
+        let x: f64 = self.rng.random_range(0.0..1.0);
+        let verdict = if x < self.drop_chance {
+            Verdict::Drop
+        } else if x < self.drop_chance + self.corrupt_chance {
+            Verdict::Corrupt
+        } else {
+            Verdict::Deliver
+        };
+        match verdict {
+            Verdict::Deliver => self.stats.delivered += 1,
+            Verdict::Drop => self.stats.dropped += 1,
+            Verdict::Corrupt => self.stats.corrupted += 1,
+        }
+        verdict
+    }
+
+    /// Decision counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The configured drop chance.
+    pub fn drop_chance(&self) -> f64 {
+        self.drop_chance
+    }
+
+    /// The configured corrupt chance.
+    pub fn corrupt_chance(&self) -> f64 {
+        self.corrupt_chance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparent_always_delivers() {
+        let mut f = FaultInjector::transparent();
+        for _ in 0..1000 {
+            assert_eq!(f.judge(), Verdict::Deliver);
+        }
+        assert_eq!(f.stats().delivered, 1000);
+        assert_eq!(f.stats().dropped, 0);
+    }
+
+    #[test]
+    fn rates_approximate_configuration() {
+        let mut f = FaultInjector::new(0.15, 0.10, 99);
+        for _ in 0..200_000 {
+            f.judge();
+        }
+        let s = f.stats();
+        let drop_rate = s.dropped as f64 / s.total() as f64;
+        let corrupt_rate = s.corrupted as f64 / s.total() as f64;
+        assert!((drop_rate - 0.15).abs() < 0.01, "drop {drop_rate}");
+        assert!((corrupt_rate - 0.10).abs() < 0.01, "corrupt {corrupt_rate}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = FaultInjector::new(0.3, 0.2, 7);
+        let mut b = FaultInjector::new(0.3, 0.2, 7);
+        for _ in 0..500 {
+            assert_eq!(a.judge(), b.judge());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed 1")]
+    fn overlapping_chances_rejected() {
+        let _ = FaultInjector::new(0.7, 0.6, 1);
+    }
+
+    #[test]
+    fn stats_total_consistent() {
+        let mut f = FaultInjector::new(0.5, 0.25, 3);
+        for _ in 0..1234 {
+            f.judge();
+        }
+        assert_eq!(f.stats().total(), 1234);
+    }
+}

@@ -1,0 +1,51 @@
+//! Typed physical quantities for the Braidio reproduction.
+//!
+//! Every crate in the workspace talks about power, energy, gains, distances,
+//! frequencies and bitrates. Mixing up milliwatts and dBm, or joules and
+//! watt-hours, is exactly the kind of bug that silently ruins a link-budget
+//! calculation, so this crate wraps each quantity in a zero-cost newtype with
+//! explicit, unit-named constructors and accessors.
+//!
+//! Conventions:
+//!
+//! * All quantities are stored in SI base units (`W`, `J`, `s`, `Hz`, `m`,
+//!   `bit/s`) as `f64`.
+//! * dB arithmetic is only available through [`Decibels`] so linear and
+//!   logarithmic domains cannot be confused.
+//! * Arithmetic that changes the dimension is expressed as `Mul`/`Div` impls
+//!   that return the correct type (`Watts * Seconds -> Joules`,
+//!   `Watts / BitsPerSecond -> JoulesPerBit`, ...).
+//!
+//! The crate also hosts the small numerics toolbox used across the workspace
+//! ([`math`]) and the complex-phasor type used for baseband channel models
+//! ([`iq`]).
+
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod frequency;
+pub mod iq;
+pub mod length;
+pub mod math;
+pub mod power;
+pub mod rate;
+pub mod ratio;
+pub mod time;
+
+pub use energy::{Joules, JoulesPerBit};
+pub use frequency::Hertz;
+pub use iq::Complex;
+pub use length::Meters;
+pub use power::Watts;
+pub use rate::BitsPerSecond;
+pub use ratio::Decibels;
+pub use time::Seconds;
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Boltzmann constant, J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Standard noise reference temperature, kelvin.
+pub const T0_KELVIN: f64 = 290.0;

@@ -1,0 +1,84 @@
+//! Braid inspector: watch the §4.2 mode sequence being woven.
+//!
+//! Run with: `cargo run --release --example braid_inspector [tx_wh rx_wh]`
+//!
+//! The paper's example: "if p1 = 0.5, p2 = 0.25, p3 = 0.25 then a possible
+//! sequence of modes could be Active-Active-Passive-Backscatter (repeated)".
+//! This example solves Eq. 1 for a device pair, prints the resulting plan,
+//! and then prints the literal packet-by-packet braid the scheduler emits.
+
+use braidio::mac::offload::solve_at;
+use braidio::mac::scheduler::{BraidedScheduler, Decision};
+use braidio::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (e1, e2) = match args.as_slice() {
+        [a, b] => (
+            a.parse().expect("tx_wh must be a number"),
+            b.parse().expect("rx_wh must be a number"),
+        ),
+        _ => (6.55f64, 11.1f64), // iPhone 6S -> iPhone 6 Plus
+    };
+
+    println!("== Braid inspector: {e1} Wh transmitting to {e2} Wh ==\n");
+    let ch = Characterization::braidio();
+    let plan = solve_at(
+        &ch,
+        Meters::new(0.5),
+        Joules::from_watt_hours(e1),
+        Joules::from_watt_hours(e2),
+    )
+    .expect("link in range");
+
+    println!("Eq. 1 plan (exact power-proportional: {}):", plan.exact);
+    for a in &plan.allocations {
+        println!(
+            "  {:>12} @{:<4}  fraction {:.4}   T = {}  R = {}",
+            a.option.mode.label(),
+            a.option.rate.label(),
+            a.fraction,
+            a.option.tx_cost,
+            a.option.rx_cost
+        );
+    }
+    println!(
+        "blended T:R = {:.4} (battery ratio {:.4})\n",
+        plan.asymmetry(),
+        e1 / e2
+    );
+
+    let mut sched = BraidedScheduler::new(&plan);
+    print!("first 64 packets: ");
+    for i in 0..64 {
+        if i % 32 == 0 {
+            println!();
+        }
+        match sched.next() {
+            Decision::Send(o) => print!("{}", &o.mode.label()[..1]),
+            Decision::Replan => print!("?"),
+        }
+    }
+    println!("\n\n(A = active, P = passive, B = backscatter)");
+    println!("mode switches in 64 packets: {}", sched.switches());
+
+    // Show how the braid shifts with the battery ratio.
+    println!("\nbraid vs battery ratio (TX:RX):");
+    println!("{:>10} {:>9} {:>9} {:>12}", "ratio", "active", "passive", "backscatter");
+    for ratio in [0.01, 0.1, 0.5, 1.0, 2.0, 10.0, 100.0, 1000.0] {
+        let p = solve_at(
+            &ch,
+            Meters::new(0.5),
+            Joules::from_watt_hours(ratio),
+            Joules::from_watt_hours(1.0),
+        )
+        .expect("in range");
+        println!(
+            "{:>10} {:>8.1}% {:>8.1}% {:>11.1}%",
+            format!("{ratio}:1"),
+            100.0 * p.mode_fraction(Mode::Active),
+            100.0 * p.mode_fraction(Mode::Passive),
+            100.0 * p.mode_fraction(Mode::Backscatter)
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: a fitness band streams sensor data to a laptop.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! Demonstrates the core Braidio idea end to end: the band has a 0.26 Wh
+//! battery, the laptop 99.5 Wh. A symmetric Bluetooth link makes the band
+//! pay ~86 nJ for every bit it sends; Braidio moves the carrier to the
+//! laptop (backscatter mode) and the band pays ~0.04 nJ/bit instead.
+
+use braidio::prelude::*;
+
+fn main() {
+    let band = devices::NIKE_FUEL_BAND;
+    let laptop = devices::MACBOOK_PRO_15;
+
+    println!("== Braidio quickstart ==\n");
+    println!("transmitter: {band}");
+    println!("receiver:    {laptop}\n");
+
+    let transfer = Transfer::between(band, laptop).at_distance(Meters::new(0.5));
+    let outcome = transfer.run();
+
+    let b = &outcome.braidio;
+    println!("-- Braidio (energy-aware carrier offload) --");
+    println!("bits moved:   {:.3e}  ({:.1} GB)", b.bits, b.bits / 8e9);
+    println!("link lifetime: {}", b.duration);
+    println!(
+        "mode mix:     active {:.1}%, passive {:.1}%, backscatter {:.1}%",
+        100.0 * b.mode_share(Mode::Active),
+        100.0 * b.mode_share(Mode::Passive),
+        100.0 * b.mode_share(Mode::Backscatter),
+    );
+    println!(
+        "energy spent: band {}, laptop {}\n",
+        b.e1_spent, b.e2_spent
+    );
+
+    let bt = &outcome.bluetooth;
+    println!("-- Bluetooth baseline --");
+    println!("bits moved:   {:.3e}  ({:.1} GB)", bt.bits, bt.bits / 8e9);
+    println!("link lifetime: {}\n", bt.duration);
+
+    println!(
+        "=> Braidio moves {:.0}x more data before a battery dies",
+        outcome.gain_over_bluetooth()
+    );
+    println!(
+        "=> and {:.2}x more than the best single operating mode",
+        outcome.gain_over_best_single()
+    );
+}

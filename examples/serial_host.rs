@@ -1,0 +1,53 @@
+//! Serial host: drive a Braidio module purely over its byte protocol.
+//!
+//! Run with: `cargo run --release --example serial_host`
+//!
+//! Table 4's active radio provides its "Bluetooth abstraction over serial
+//! interface"; a shipping Braidio module would expose the braided link the
+//! same way. This example plays the host MCU: every interaction below is
+//! encoded to wire bytes, executed by the module, and parsed back — no Rust
+//! API crosses the boundary.
+
+use braidio::driver::{Command, Driver, Event};
+use braidio::prelude::*;
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect::<Vec<_>>().join(" ")
+}
+
+fn exchange(driver: &mut Driver, cmd: Command) -> Event {
+    let tx = cmd.encode();
+    let rx = driver.execute(&tx);
+    let event = Event::decode(&rx).expect("well-formed event");
+    println!("host -> {:<28} {:?}", hex(&tx), cmd);
+    println!("  <- {:<31} {:?}\n", hex(&rx), event);
+    event
+}
+
+fn main() {
+    println!("== Braidio over the wire: Apple Watch module, iPhone peer ==\n");
+    let mut module = Driver::new(
+        devices::APPLE_WATCH,
+        devices::IPHONE_6S,
+        LiveConfig::default(),
+    );
+
+    // Bring the link up.
+    exchange(&mut module, Command::Reset);
+    exchange(&mut module, Command::SetDistance(50)); // 0.5 m
+    exchange(&mut module, Command::Probe);
+
+    // Move a burst and look at the batteries.
+    exchange(&mut module, Command::Send(1000));
+    exchange(&mut module, Command::Status);
+
+    // The user walks across the room; the module re-plans on its own.
+    println!("-- user walks to 3 m --\n");
+    exchange(&mut module, Command::SetDistance(300));
+    exchange(&mut module, Command::Probe);
+    exchange(&mut module, Command::Send(200));
+    exchange(&mut module, Command::Status);
+
+    println!("every byte above is the actual wire traffic: SOF 0x7e, length,");
+    println!("opcode + args, CRC-16/CCITT — the same FCS the air frames use.");
+}

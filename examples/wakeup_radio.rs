@@ -1,0 +1,82 @@
+//! Wake-up radio: the passive receiver as an always-on doorbell.
+//!
+//! Run with: `cargo run --release --example wakeup_radio`
+//!
+//! §4 notes that the passive-receiver mode "is not one we sought out to
+//! design, but is an interesting option that we enable through our
+//! architecture." A Braidio device can leave its ~50 µW envelope-detector
+//! chain listening continuously while the active radio sleeps — replacing
+//! the classic latency-vs-power trade of duty-cycled listening. This
+//! example quantifies the idle budget and then simulates a day of standby
+//! with occasional inbound transfers.
+
+use braidio::circuits::harvester::Harvester;
+use braidio::mac::wakeup::{DutyCycledListener, PassiveWakeup};
+use braidio::prelude::*;
+use braidio::rfsim::LinkBudget;
+
+fn main() {
+    println!("== The passive chain as a wake-up radio ==\n");
+    let passive = PassiveWakeup::braidio();
+    println!(
+        "always-on passive chain: {} draw, {} wake latency\n",
+        passive.chain_power, passive.detect_latency
+    );
+
+    println!("-- duty-cycled BLE listening for comparison --");
+    println!(
+        "{:>12} {:>14} {:>14} {:>14}",
+        "check period", "avg power", "mean latency", "vs passive"
+    );
+    for period_ms in [20.0, 100.0, 500.0, 2000.0, 10_000.0] {
+        let lpl = DutyCycledListener::ble(Seconds::from_millis(period_ms));
+        let avg = lpl.average_power();
+        println!(
+            "{:>10.0}ms {:>14} {:>14} {:>12.1}x",
+            period_ms,
+            format!("{avg}"),
+            format!("{}", lpl.mean_latency()),
+            avg / passive.chain_power
+        );
+    }
+    let lpl1s = DutyCycledListener::ble(Seconds::new(1.0));
+    let eq = passive.equivalent_lpl_period(&lpl1s);
+    println!(
+        "\nan LPL listener only *matches* the passive chain's power at a {} check period —",
+        eq
+    );
+    println!("at which point its mean wake latency is {} vs the chain's {}.\n",
+        (eq / 2.0), passive.detect_latency);
+
+    // Standby economics over a watch's day.
+    println!("-- a smartwatch day: 24 h standby + 30 min of transfers --");
+    let watch = devices::APPLE_WATCH;
+    let standby = Seconds::from_hours(24.0);
+    let passive_idle = passive.chain_power * standby;
+    let lpl_idle = lpl1s.average_power() * standby;
+    println!(
+        "idle energy: passive wake-up {} vs 1 s LPL {} ({:.1}% vs {:.1}% of the {} battery)",
+        passive_idle,
+        lpl_idle,
+        100.0 * passive_idle.joules() / Joules::from_watt_hours(watch.battery_wh).joules(),
+        100.0 * lpl_idle.joules() / Joules::from_watt_hours(watch.battery_wh).joules(),
+        watch.name
+    );
+
+    // And because the wake word arrives through the same front end, the
+    // phone can power the whole exchange: tag-mode harvest check.
+    println!("\n-- bonus: how far could the tag side run battery-free? --");
+    let h = Harvester::wisp();
+    let budget = LinkBudget::default();
+    for (label, load) in [
+        ("backscatter TX (36 µW)", Watts::from_microwatts(36.38)),
+        ("passive chain (50 µW)", Watts::from_microwatts(50.0)),
+        ("active MCU (6.6 mW)", Watts::from_milliwatts(6.6)),
+    ] {
+        let range = h.powered_range(&budget, Watts::from_dbm(13.0), load);
+        match range {
+            Some(r) if r.meters() >= 0.1 => println!("  {label:<24} powered up to {r}"),
+            _ => println!("  {label:<24} cannot run on harvested power"),
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Wearable sync: bidirectional smartwatch ↔ phone traffic.
+//!
+//! Run with: `cargo run --release --example wearable_sync`
+//!
+//! A smartwatch is both a sensor (uplink: health data) and a display
+//! (downlink: notifications) — the paper's Scenario 2. Equal data flows in
+//! both directions, so the watch gets to use *backscatter* when talking and
+//! the *passive receiver* when listening, and never runs a carrier at all.
+//! The example also shows how the plan adapts as the phone's battery drains
+//! through the day.
+
+use braidio::prelude::*;
+
+fn main() {
+    let watch = devices::APPLE_WATCH;
+    let phone = devices::IPHONE_6S;
+
+    println!("== Wearable sync: {} <-> {} ==\n", watch.name, phone.name);
+
+    // Bidirectional transfer at arm's length.
+    let outcome = Transfer::between(watch, phone)
+        .at_distance(Meters::new(0.4))
+        .bidirectional()
+        .run();
+
+    println!("-- policy comparison (equal traffic both ways) --");
+    println!(
+        "{:<22} {:>12} {:>14}",
+        "policy", "bits", "lifetime"
+    );
+    for (name, report) in [
+        ("Braidio", &outcome.braidio),
+        ("Bluetooth", &outcome.bluetooth),
+        ("best single mode", &outcome.best_single),
+    ] {
+        println!(
+            "{:<22} {:>12.3e} {:>14}",
+            name, report.bits, report.duration
+        );
+    }
+    println!(
+        "\n=> gain over Bluetooth: {:.1}x, over best single mode: {:.2}x\n",
+        outcome.gain_over_bluetooth(),
+        outcome.gain_over_best_single()
+    );
+
+    // How the braid shifts as the phone's battery drains through the day.
+    println!("-- plan vs. phone state of charge (watch at 80%) --");
+    println!(
+        "{:>10} {:>10} {:>10} {:>12} {:>10}",
+        "phone SoC", "active%", "passive%", "backscatter%", "gain"
+    );
+    for soc in [1.0, 0.6, 0.3, 0.1, 0.03, 0.01] {
+        let o = Transfer::between(watch, phone)
+            .at_distance(Meters::new(0.4))
+            .with_charge(0.8, soc)
+            .run();
+        let b = &o.braidio;
+        println!(
+            "{:>9.0}% {:>9.1}% {:>9.1}% {:>11.1}% {:>9.2}x",
+            soc * 100.0,
+            100.0 * b.mode_share(Mode::Active),
+            100.0 * b.mode_share(Mode::Passive),
+            100.0 * b.mode_share(Mode::Backscatter),
+            o.gain_over_bluetooth()
+        );
+    }
+
+    // A short live session with losses: watch streaming to phone in a noisy
+    // environment, 10% injected drops.
+    println!("\n-- live session, 10% injected packet drops --");
+    let mut link = LiveLink::open(
+        watch,
+        phone,
+        LiveConfig {
+            distance: Meters::new(0.4),
+            drop_chance: 0.10,
+            payload_bytes: 64,
+            seed: 42,
+            ..LiveConfig::default()
+        },
+    );
+    let stats = link.run_packets(5000);
+    println!(
+        "delivered {} / lost {} (delivery ratio {:.1}%), re-plans {}",
+        stats.delivered,
+        stats.lost,
+        100.0 * stats.delivery_ratio(),
+        stats.replans
+    );
+    if let Some(plan) = link.plan() {
+        println!(
+            "current braid: backscatter fraction {:.3}, exact proportionality: {}",
+            plan.mode_fraction(Mode::Backscatter),
+            plan.exact
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Workspace-root crate: hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). Re-exports the public API so
+//! examples and tests use the same surface a downstream user would.
+
+pub use braidio::prelude;
+pub use braidio_circuits as circuits;
+pub use braidio_mac as mac;
+pub use braidio_phy as phy;
+pub use braidio_radio as radio;
+pub use braidio_rfsim as rfsim;
+pub use braidio_units as units;

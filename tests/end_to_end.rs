@@ -1,0 +1,157 @@
+//! Cross-crate integration: exercise whole vertical slices of the stack,
+//! from circuit samples up to the carrier-offload MAC.
+
+use braidio::circuits::PassiveReceiverChain;
+use braidio::phy::frame::{DecodeError, Frame};
+use braidio::phy::modulation::OokModulator;
+use braidio::prelude::*;
+use braidio_rfsim::LinkKind;
+
+/// A frame travels over a simulated passive link: framing → OOK → channel
+/// scaling from the link budget → receive chain → bit slicing → decode.
+#[test]
+fn frame_over_passive_chain_round_trip() {
+    let ch = Characterization::braidio();
+    let chain = PassiveReceiverChain::braidio();
+
+    // Carrier amplitude at the receive antenna for a 1.0 m passive link.
+    let rx_power = ch.received_power(Mode::Passive, Meters::new(1.0));
+    let v_env = (rx_power.watts() * 2.0 * 50.0).sqrt(); // 50 Ω antenna
+
+    let frame = Frame::new(b"hello braidio".to_vec());
+    let bits = frame.encode();
+    let modulator = OokModulator::new(24, v_env, 0.05 * v_env);
+    let envelope = modulator.modulate(&bits);
+    let dt = modulator.sample_interval(BitsPerSecond::KBPS_100);
+
+    let sliced = chain.demodulate(&envelope, dt);
+    let decided: Vec<bool> = (0..bits.len())
+        .map(|i| sliced[modulator.decision_index(i)])
+        .collect();
+    let decoded = Frame::decode(&decided, 4).expect("clean link decodes");
+    assert_eq!(decoded, frame);
+}
+
+/// A corrupted payload is rejected by the CRC even when sync succeeds.
+#[test]
+fn corrupted_frame_rejected_end_to_end() {
+    let frame = Frame::new(b"integrity".to_vec());
+    let mut bits = frame.encode();
+    let flip = bits.len() - 30; // inside payload/CRC region
+    bits[flip] = !bits[flip];
+    assert!(matches!(
+        Frame::decode(&bits, 2),
+        Err(DecodeError::BadCrc) | Err(DecodeError::NoSync)
+    ));
+}
+
+/// The characterization's calibrated ranges must be consistent with the
+/// raw link-budget crate: backscatter loses twice the dB per distance
+/// doubling that passive does.
+#[test]
+fn characterization_consistent_with_link_budget() {
+    let ch = Characterization::braidio();
+    let d1 = Meters::new(1.0);
+    let d2 = Meters::new(2.0);
+    let p_drop = ch.received_power(Mode::Passive, d1) / ch.received_power(Mode::Passive, d2);
+    let b_drop =
+        ch.received_power(Mode::Backscatter, d1) / ch.received_power(Mode::Backscatter, d2);
+    assert!((p_drop - 4.0).abs() < 0.01, "passive drop {p_drop}");
+    assert!((b_drop - 16.0).abs() < 0.05, "backscatter drop {b_drop}");
+    // And carrier placement maps to the right budget direction.
+    assert!(LinkKind::Backscatter.receiver_has_carrier());
+}
+
+/// The full pipeline: probe → plan → braid → battery death, through the
+/// packet-level live link — then cross-check total bits against the
+/// analytic simulator on the same scenario (small batteries so the
+/// packet loop is affordable).
+#[test]
+fn live_link_matches_analytic_simulator() {
+    // Tiny synthetic batteries: 25 mWh vs 250 mWh.
+    let tiny = braidio::radio::devices::Device {
+        name: "tiny",
+        battery_wh: 0.00025,
+    };
+    let small = braidio::radio::devices::Device {
+        name: "small",
+        battery_wh: 0.0025,
+    };
+    let mut link = LiveLink::open(
+        tiny,
+        small,
+        LiveConfig {
+            payload_bytes: 255,
+            replan_every: 2000,
+            ..LiveConfig::default()
+        },
+    );
+    // Run to battery death.
+    let mut steps = 0u64;
+    loop {
+        match link.step() {
+            PacketOutcome::BatteryDead | PacketOutcome::LinkDown => break,
+            _ => {}
+        }
+        steps += 1;
+        assert!(steps < 20_000_000, "runaway live link");
+    }
+    let live_bits = link.stats().delivered as f64 * 255.0 * 8.0;
+
+    let analytic = Transfer::between(tiny, small).run().braidio.bits;
+    // The live link carries framing overhead (preamble/sync/CRC ≈ 4%) and
+    // probe costs, so expect ~92–100% of the analytic payload capacity.
+    let ratio = live_bits / analytic;
+    assert!(
+        (0.9..=1.02).contains(&ratio),
+        "live {live_bits:.3e} vs analytic {analytic:.3e} (ratio {ratio:.3})"
+    );
+}
+
+/// Energy conservation: the analytic simulator never spends more than the
+/// batteries held, and power-proportional plans drain both ends fully.
+#[test]
+fn simulator_energy_conservation() {
+    for (a, b) in [(0.26f64, 99.5f64), (6.55, 6.55), (99.5, 0.26)] {
+        let dev_a = braidio::radio::devices::Device {
+            name: "a",
+            battery_wh: a,
+        };
+        let dev_b = braidio::radio::devices::Device {
+            name: "b",
+            battery_wh: b,
+        };
+        let r = Transfer::between(dev_a, dev_b).run().braidio;
+        assert!(r.e1_spent.watt_hours() <= a * (1.0 + 1e-9), "{}", r.e1_spent);
+        assert!(r.e2_spent.watt_hours() <= b * (1.0 + 1e-9), "{}", r.e2_spent);
+        // At least one side fully drained.
+        let frac1 = r.e1_spent.watt_hours() / a;
+        let frac2 = r.e2_spent.watt_hours() / b;
+        assert!(frac1.max(frac2) > 0.999, "nobody died: {frac1} {frac2}");
+    }
+}
+
+/// The mode mix reported by the simulator obeys the plan the solver
+/// produces for the same inputs.
+#[test]
+fn simulator_mode_mix_matches_solver() {
+    let ch = Characterization::braidio();
+    let plan = braidio::mac::offload::solve_at(
+        &ch,
+        Meters::new(0.5),
+        Joules::from_watt_hours(0.78),
+        Joules::from_watt_hours(6.55),
+    )
+    .unwrap();
+    let r = Transfer::between(devices::APPLE_WATCH, devices::IPHONE_6S)
+        .run()
+        .braidio;
+    for mode in Mode::ALL {
+        let want = plan.mode_fraction(mode);
+        let got = r.mode_share(mode);
+        assert!(
+            (want - got).abs() < 0.02,
+            "{mode}: plan {want:.3} vs sim {got:.3}"
+        );
+    }
+}
