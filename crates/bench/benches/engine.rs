@@ -1,0 +1,79 @@
+//! Macrobench: the parallel simulation engine, serial vs pooled.
+//!
+//! Covers the two heaviest paths the pool accelerates — the 10×10 device
+//! matrix behind Figs. 15–17 and the chunked Monte-Carlo BER runs — plus
+//! the memoized offload solver the matrix leans on. Results are
+//! bit-identical at every thread count, so the serial and parallel rows
+//! measure the same computation.
+
+use braidio::pool;
+use braidio_bench::{fig15, render};
+use braidio_mac::offload::{options_at, solve, solve_memo};
+use braidio_phy::montecarlo::MonteCarloBer;
+use braidio_radio::characterization::{Characterization, Rate};
+use braidio_radio::Mode;
+use braidio_units::{BitsPerSecond, Joules, Meters};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_device_matrix(c: &mut Criterion) {
+    c.bench_function("device_matrix/fig15/serial", |b| {
+        b.iter(|| pool::with_threads(1, || black_box(render::matrix_values(fig15::cell))))
+    });
+    let n = pool::thread_count().max(2);
+    c.bench_function("device_matrix/fig15/pooled", |b| {
+        b.iter(|| pool::with_threads(n, || black_box(render::matrix_values(fig15::cell))))
+    });
+}
+
+fn bench_montecarlo(c: &mut Criterion) {
+    // Five chunks' worth of bits at 100 kbps — the calibration workload
+    // shape used by `braidio-bench::validation`.
+    let mc = MonteCarloBer::at_snr_db(8.0, BitsPerSecond::KBPS_100, 20_000, 17);
+    c.bench_function("montecarlo/20k_bits/serial", |b| {
+        b.iter(|| pool::with_threads(1, || black_box(mc.run())))
+    });
+    let n = pool::thread_count().max(2);
+    c.bench_function("montecarlo/20k_bits/pooled", |b| {
+        b.iter(|| pool::with_threads(n, || black_box(mc.run())))
+    });
+}
+
+fn bench_memoized_solver(c: &mut Criterion) {
+    let ch = Characterization::braidio();
+    let opts = options_at(&ch, Meters::new(0.5));
+    let e1 = Joules::from_watt_hours(6.55);
+    let e2 = Joules::from_watt_hours(11.1);
+    c.bench_function("offload/solve/cold", |b| {
+        b.iter(|| solve(black_box(&opts), black_box(e1), black_box(e2)))
+    });
+    c.bench_function("offload/solve/memoized", |b| {
+        b.iter(|| solve_memo(black_box(&opts), black_box(e1), black_box(e2)))
+    });
+}
+
+fn bench_characterization(c: &mut Criterion) {
+    // `braidio()` used to rebuild the calibration per call; it is now a
+    // clone out of a process-wide cache...
+    c.bench_function("characterization/cached_clone", |b| {
+        b.iter(|| black_box(Characterization::braidio()))
+    });
+    // ...and `range()` used to bisect per call; it is now a table lookup.
+    let ch = Characterization::braidio();
+    c.bench_function("characterization/range_lookup", |b| {
+        b.iter(|| black_box(ch.range(Mode::Passive, Rate::Kbps100)))
+    });
+    // The carrier-variant path still pays the full derived-table rebuild
+    // (nine range bisections) — the cost every construction used to carry.
+    c.bench_function("characterization/rebuild_with_carrier", |b| {
+        b.iter(|| black_box(Characterization::braidio().with_carrier_dbm(13.0)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_device_matrix,
+    bench_montecarlo,
+    bench_memoized_solver,
+    bench_characterization
+);
+criterion_main!(benches);

@@ -12,11 +12,15 @@ fn bench_framing(c: &mut Criterion) {
     let frame = Frame::new(payload.clone());
     let bits = frame.encode();
 
-    c.bench_function("frame_encode_255B", |b| b.iter(|| black_box(&frame).encode()));
+    c.bench_function("frame_encode_255B", |b| {
+        b.iter(|| black_box(&frame).encode())
+    });
     c.bench_function("frame_decode_255B", |b| {
         b.iter(|| Frame::decode(black_box(&bits), 2).unwrap())
     });
-    c.bench_function("crc16_255B", |b| b.iter(|| crc16_ccitt(black_box(&payload))));
+    c.bench_function("crc16_255B", |b| {
+        b.iter(|| crc16_ccitt(black_box(&payload)))
+    });
 
     for code in [LineCode::Manchester, LineCode::Fm0] {
         let enc = code.encode(&bits);
@@ -30,7 +34,7 @@ fn bench_framing(c: &mut Criterion) {
 
     let oversampled: Vec<bool> = bits
         .iter()
-        .flat_map(|&b| std::iter::repeat(b).take(16))
+        .flat_map(|&b| std::iter::repeat_n(b, 16))
         .collect();
     let sync = BitSync::new(16);
     c.bench_function("bitsync_recover_frame_16x", |b| {

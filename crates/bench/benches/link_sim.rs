@@ -6,20 +6,25 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_sim(c: &mut Criterion) {
     c.bench_function("sim_braidio_asymmetric_pair", |b| {
-        b.iter(|| {
-            simulate_transfer(black_box(&TransferSetup::new(0.26, 99.5, Policy::Braidio)))
-        })
+        b.iter(|| simulate_transfer(black_box(&TransferSetup::new(0.26, 99.5, Policy::Braidio))))
     });
     c.bench_function("sim_braidio_symmetric_pair", |b| {
         b.iter(|| simulate_transfer(black_box(&TransferSetup::new(6.55, 6.55, Policy::Braidio))))
     });
     c.bench_function("sim_bluetooth_baseline", |b| {
-        b.iter(|| simulate_transfer(black_box(&TransferSetup::new(0.26, 99.5, Policy::Bluetooth))))
+        b.iter(|| {
+            simulate_transfer(black_box(&TransferSetup::new(
+                0.26,
+                99.5,
+                Policy::Bluetooth,
+            )))
+        })
     });
     c.bench_function("sim_bidirectional", |b| {
         b.iter(|| {
             simulate_transfer(black_box(
-                &TransferSetup::new(0.78, 6.55, Policy::Braidio).with_traffic(Traffic::Bidirectional),
+                &TransferSetup::new(0.78, 6.55, Policy::Braidio)
+                    .with_traffic(Traffic::Bidirectional),
             ))
         })
     });

@@ -9,9 +9,9 @@
 //! * charge-pump stages — the §3.2 boost-vs-output-impedance tension.
 
 use crate::render::banner;
+use braidio_circuits::carrier::CarrierEmitter;
 use braidio_circuits::chain::PassiveReceiverChain;
 use braidio_circuits::charge_pump::DicksonChargePump;
-use braidio_circuits::carrier::CarrierEmitter;
 use braidio_mac::sim::{simulate_transfer, Policy, TransferSetup};
 use braidio_radio::characterization::{Characterization, Rate};
 use braidio_radio::Mode;
@@ -95,10 +95,14 @@ pub fn diversity_order() {
         // Third antenna: λ/8 further along the same perpendicular axis.
         let spacing = s.frequency.wavelength() / 8.0;
         let first = s.rx_antennas[1];
-        s.rx_antennas.push(Point::new(first.x, first.y + spacing.meters()));
+        s.rx_antennas
+            .push(Point::new(first.x, first.y + spacing.meters()));
         s
     };
-    println!("{:>10} {:>16} {:>14}", "antennas", "worst SNR (dB)", "mean SNR (dB)");
+    println!(
+        "{:>10} {:>16} {:>14}",
+        "antennas", "worst SNR (dB)", "mean SNR (dB)"
+    );
     for (n, scene) in [(1usize, &base), (2, &two), (3, &three)] {
         let mut worst = f64::MAX;
         let mut sum = 0.0;

@@ -2,46 +2,156 @@
 //! evaluation.
 //!
 //! ```text
-//! experiments all          # everything, in paper order
-//! experiments list         # show available experiment ids
-//! experiments fig15 fig16  # a subset
+//! experiments all                    # everything, in paper order
+//! experiments list                   # show available experiment ids
+//! experiments fig15 fig16            # a subset
+//! experiments all --jobs 4 --timing  # 4 worker threads, per-experiment timing
 //! ```
+//!
+//! The full argument list is validated before anything runs: a typo in the
+//! last name no longer wastes the minutes the first names took.
 
 use braidio_bench::ALL;
+use std::time::Instant;
+
+struct Cli {
+    /// Experiments to run, in request order (expanded from `all`).
+    runs: Vec<(&'static str, fn())>,
+    /// Print a wall-clock timing report per experiment.
+    timing: bool,
+    /// Worker-thread override (`--jobs N`), if given.
+    jobs: Option<usize>,
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        usage();
-        return;
-    }
-    if args.iter().any(|a| a == "list") {
-        for (name, _) in ALL {
-            println!("{name}");
+    let cli = match parse(std::env::args().skip(1).collect()) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!();
+            usage();
+            std::process::exit(2);
         }
-        return;
+    };
+
+    if let Some(n) = cli.jobs {
+        braidio::pool::set_threads(n);
     }
-    if args.iter().any(|a| a == "all") {
-        for (_, run) in ALL {
-            run();
-        }
-        return;
+
+    let mut timings: Vec<(&str, f64)> = Vec::new();
+    for (name, run) in &cli.runs {
+        let t0 = Instant::now();
+        run();
+        timings.push((name, t0.elapsed().as_secs_f64()));
     }
-    for arg in &args {
-        match ALL.iter().find(|(name, _)| name == arg) {
-            Some((_, run)) => run(),
-            None => {
-                eprintln!("unknown experiment '{arg}' — try 'list'");
-                std::process::exit(2);
+
+    // The timing report goes to stderr so the experiment output itself is
+    // byte-identical with and without `--timing`.
+    if cli.timing {
+        let total: f64 = timings.iter().map(|(_, s)| s).sum();
+        eprintln!();
+        eprintln!(
+            "timing ({} thread{}):",
+            braidio::pool::thread_count(),
+            if braidio::pool::thread_count() == 1 {
+                ""
+            } else {
+                "s"
             }
+        );
+        for (name, s) in &timings {
+            eprintln!("  {name:<12} {s:>8.3} s");
         }
+        eprintln!("  {:<12} {total:>8.3} s", "total");
     }
 }
 
+/// Parse and validate the full argument list up front. `Ok(None)` means a
+/// query flag (`list`, `--help`) already handled everything.
+fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
+    if args.is_empty() {
+        usage();
+        return Ok(None);
+    }
+    let mut names: Vec<&str> = Vec::new();
+    let mut all = false;
+    let mut list = false;
+    let mut help = false;
+    let mut timing = false;
+    let mut jobs: Option<usize> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => help = true,
+            "list" => list = true,
+            "all" => all = true,
+            "--timing" => timing = true,
+            "--jobs" | "-j" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a thread count"))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("{arg} {v}: not a thread count"))?;
+                if n == 0 {
+                    return Err(format!("{arg} 0: need at least one thread"));
+                }
+                jobs = Some(n);
+            }
+            name if name.starts_with('-') => return Err(format!("unknown flag '{name}'")),
+            name => match ALL.iter().find(|(id, _)| *id == name) {
+                Some((id, _)) => names.push(id),
+                None => return Err(format!("unknown experiment '{name}' — try 'list'")),
+            },
+        }
+    }
+
+    if help {
+        usage();
+        return Ok(None);
+    }
+    if list {
+        if all || !names.is_empty() {
+            return Err("'list' does not combine with experiment names".into());
+        }
+        for (name, _) in ALL {
+            println!("{name}");
+        }
+        return Ok(None);
+    }
+    if all && !names.is_empty() {
+        return Err("'all' already selects every experiment — drop the extra names".into());
+    }
+    let runs: Vec<(&'static str, fn())> = if all {
+        ALL.to_vec()
+    } else if names.is_empty() {
+        return Err("nothing to run: give experiment names, 'all', or 'list'".into());
+    } else {
+        names
+            .iter()
+            .map(|n| *ALL.iter().find(|(id, _)| id == n).expect("validated"))
+            .collect()
+    };
+    Ok(Some(Cli { runs, timing, jobs }))
+}
+
 fn usage() {
-    eprintln!(
-        "usage: experiments <all | list | fig1 fig3 fig4 fig6 fig9 fig12..fig18 | table1 table2 table3 table5 | ablation>"
-    );
+    eprintln!("usage: experiments <selection> [--jobs N] [--timing]");
+    eprintln!();
+    eprintln!("selection (validated before anything runs):");
+    eprintln!("  all            every experiment, in paper order");
+    eprintln!("  list           print the available experiment ids and exit");
+    eprintln!("  <id> [<id>..]  a subset, run in the order given");
+    eprintln!("                 (fig1 fig3 fig4 fig6 fig9 fig12..fig18,");
+    eprintln!("                  table1 table2 table3 table5, ablation, ...)");
+    eprintln!();
+    eprintln!("flags:");
+    eprintln!("  --jobs N, -j N worker threads for the simulation pool");
+    eprintln!("                 (default: BRAIDIO_THREADS or the CPU count;");
+    eprintln!("                  results are identical at any thread count)");
+    eprintln!("  --timing       per-experiment wall-clock report on stderr");
     eprintln!();
     eprintln!("Regenerates the tables and figures of the Braidio paper (SIGCOMM'16)");
     eprintln!("from the simulation models in this workspace. See EXPERIMENTS.md for");

@@ -33,10 +33,18 @@ pub fn run() {
                 .map(|r| r.label())
                 .unwrap_or("-"),
         );
-        println!("{:>12.0} m {:>20} {:>16} {:>16}", d, format!("{bs}"), format!("{pv}"), modes);
+        println!(
+            "{:>12.0} m {:>20} {:>16} {:>16}",
+            d,
+            format!("{bs}"),
+            format!("{pv}"),
+            modes
+        );
     }
 
-    println!("\nchannel relation matters (neighbour fixed at 5 m, backscatter @100k, pair at 1 m):");
+    println!(
+        "\nchannel relation matters (neighbour fixed at 5 m, backscatter @100k, pair at 1 m):"
+    );
     for rel in [
         ChannelRelation::CoChannel,
         ChannelRelation::AdjacentChannel,
@@ -52,11 +60,24 @@ pub fn run() {
     }
 
     println!("\nsuffer vs TDMA (victim throughput, bits/s):");
-    println!("{:>14} {:>16} {:>12} {:>12}", "neighbour at", "mode", "suffer", "TDMA 50%");
-    for (d, mode) in [(2.0, Mode::Backscatter), (2.0, Mode::Passive), (80.0, Mode::Passive)] {
+    println!(
+        "{:>14} {:>16} {:>12} {:>12}",
+        "neighbour at", "mode", "suffer", "TDMA 50%"
+    );
+    for (d, mode) in [
+        (2.0, Mode::Backscatter),
+        (2.0, Mode::Passive),
+        (80.0, Mode::Passive),
+    ] {
         let c = Coexistence::braidio_neighbor(Meters::new(d));
         let (suffer, tdma) = c.suffer_vs_tdma(mode, Meters::new(0.5));
-        println!("{:>12.0} m {:>16} {:>12.0} {:>12.0}", d, mode.label(), suffer, tdma);
+        println!(
+            "{:>12.0} m {:>16} {:>12.0} {:>12.0}",
+            d,
+            mode.label(),
+            suffer,
+            tdma
+        );
     }
 
     println!("\n=> distance cannot save backscatter from an uncoordinated in-band carrier:");

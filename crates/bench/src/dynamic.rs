@@ -46,7 +46,12 @@ pub fn run() {
     // Baseline: Bluetooth doesn't care about the walk (active mode covers
     // the whole room), so its bits equal the static case.
     let bt = simulate_transfer(&TransferSetup::new(0.003, 0.03, Policy::Bluetooth));
-    println!("{:>16} {:>14.3e} {:>10}", "bluetooth (any)", bt.bits, format!("{}", bt.duration));
+    println!(
+        "{:>16} {:>14.3e} {:>10}",
+        "bluetooth (any)",
+        bt.bits,
+        format!("{}", bt.duration)
+    );
     println!("\nthe walking pair lands between the static extremes: every re-plan at a regime");
     println!("crossing re-braids the link, keeping the gain over Bluetooth even in motion.");
 }

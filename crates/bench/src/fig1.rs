@@ -5,7 +5,10 @@ use braidio_radio::devices::CATALOG;
 
 /// Regenerate Figure 1.
 pub fn run() {
-    banner("Figure 1", "Battery capacity for mobile devices (Wh, log scale)");
+    banner(
+        "Figure 1",
+        "Battery capacity for mobile devices (Wh, log scale)",
+    );
     let max = CATALOG.last().expect("catalog").battery_wh;
     for d in CATALOG.iter() {
         // Log-scale bar from 0.1 Wh to the max.
@@ -14,7 +17,9 @@ pub fn run() {
         println!("{:>16} {:>8.2} Wh |{bar}", d.name, d.battery_wh);
     }
     let ratio = max / CATALOG[0].battery_wh;
-    println!("\nlaptop : fitness-band capacity ratio = {ratio:.0}x (paper: ~three orders of magnitude)");
+    println!(
+        "\nlaptop : fitness-band capacity ratio = {ratio:.0}x (paper: ~three orders of magnitude)"
+    );
 }
 
 #[cfg(test)]

@@ -42,7 +42,12 @@ pub fn run() {
     println!("\noperational ranges (BER < 1e-2):");
     for (m, r) in configs {
         let range = ch.range(m, r).expect("in range somewhere");
-        println!("  {:>12}@{:<4}  {:.2} m", m.label(), r.label(), range.meters());
+        println!(
+            "  {:>12}@{:<4}  {:.2} m",
+            m.label(),
+            r.label(),
+            range.meters()
+        );
     }
     println!("(paper anchors: backscatter 0.9/1.8/2.4 m; passive 3.9/4.2/5.1 m; active > 6 m)");
 }

@@ -21,7 +21,10 @@ pub fn run() {
         "Braidio / Bluetooth total-bits gain, device on column transmits to device on row",
     );
     device_matrix(cell);
-    println!("\ndiagonal (equal batteries) = {:.2}x (paper: 1.43x)", cell(0, 0));
+    println!(
+        "\ndiagonal (equal batteries) = {:.2}x (paper: 1.43x)",
+        cell(0, 0)
+    );
     println!(
         "extreme corners: FuelBand->MBP15 {:.0}x, MBP15->FuelBand {:.0}x (paper: 299x / 397x)",
         cell(0, 9),

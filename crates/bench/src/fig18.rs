@@ -38,14 +38,19 @@ pub fn run() {
         print!(" {:>11}", shorten(b.name, a.name));
     }
     println!();
-    for i in 0..=19 {
+    // Each distance row (6 simulated transfers) is independent: evaluate
+    // them on the work pool and print in index order.
+    let rows = braidio_pool::par_map_indexed(20, |i| {
         let d = 0.3 + (6.0 - 0.3) * i as f64 / 19.0;
-        print!("{:>7.2}", d);
+        let mut row = format!("{:>7.2}", d);
         for (a, b) in pairs {
-            print!(" {:>10.1}x", gain(a, b, d));
-            print!(" {:>10.1}x", gain(b, a, d));
+            row.push_str(&format!(" {:>10.1}x", gain(a, b, d)));
+            row.push_str(&format!(" {:>10.1}x", gain(b, a, d)));
         }
-        println!();
+        row
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!("\ncolumns alternate direction: big->small uses the passive receiver (survives to");
     println!("the ~5 m passive range); small->big needs backscatter (collapses past ~2.4 m).");
@@ -53,11 +58,7 @@ pub fn run() {
 }
 
 fn shorten(tx: &str, rx: &str) -> String {
-    let initials = |s: &str| {
-        s.split_whitespace()
-            .map(|w| &w[..1])
-            .collect::<String>()
-    };
+    let initials = |s: &str| s.split_whitespace().map(|w| &w[..1]).collect::<String>();
     format!("{}→{}", initials(tx), initials(rx))
 }
 

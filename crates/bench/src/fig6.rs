@@ -7,7 +7,10 @@ use braidio_rfsim::phase_cancel::BackscatterScene;
 
 /// Regenerate Figure 6.
 pub fn run() {
-    banner("Figure 6", "Received SNR 0.5–2 m, with and without antenna diversity");
+    banner(
+        "Figure 6",
+        "Received SNR 0.5–2 m, with and without antenna diversity",
+    );
     let single = BackscatterScene::paper_fig4();
     let diverse = BackscatterScene::paper_fig4().with_diversity();
     println!(

@@ -1,5 +1,6 @@
 //! Shared terminal rendering: device-matrix tables and ASCII heat maps.
 
+use braidio_pool as pool;
 use braidio_radio::devices::{Device, CATALOG};
 
 /// Print a banner for an experiment.
@@ -21,10 +22,22 @@ pub fn gain_cell(g: f64) -> String {
     }
 }
 
-/// Print a 10×10 device matrix: `cell(tx_index, rx_index)` with the device
-/// on the horizontal axis transmitting to the device on the vertical axis
-/// (the paper's Figs. 15–17 layout).
-pub fn device_matrix(cell: impl Fn(usize, usize) -> f64) {
+/// Evaluate all 100 cells of a 10×10 device matrix concurrently, returned
+/// row-major (`values[iy * 10 + ix] == cell(ix, iy)`).
+///
+/// Cells are distributed over the work pool by index, so the result is
+/// identical at any thread count (see `braidio_pool`).
+pub fn matrix_values(cell: impl Fn(usize, usize) -> f64 + Sync) -> Vec<f64> {
+    let n = CATALOG.len();
+    pool::par_map_indexed(n * n, |i| cell(i % n, i / n))
+}
+
+/// Print a row-major 10×10 device matrix as produced by [`matrix_values`]:
+/// the device on the horizontal axis transmits to the device on the
+/// vertical axis (the paper's Figs. 15–17 layout).
+pub fn print_matrix(values: &[f64]) {
+    let n = CATALOG.len();
+    assert_eq!(values.len(), n * n, "expected a full {n}×{n} matrix");
     let short = |d: &Device| {
         d.name
             .split_whitespace()
@@ -38,12 +51,19 @@ pub fn device_matrix(cell: impl Fn(usize, usize) -> f64) {
     println!();
     for (iy, rx) in CATALOG.iter().enumerate() {
         print!("{:>16} ", rx.name.chars().take(16).collect::<String>());
-        for (ix, _) in CATALOG.iter().enumerate() {
-            print!("{} ", gain_cell(cell(ix, iy)));
+        for ix in 0..n {
+            print!("{} ", gain_cell(values[iy * n + ix]));
         }
         println!();
     }
     println!("(columns: {} ... {})", CATALOG[0].name, CATALOG[9].name);
+}
+
+/// Compute (in parallel) and print a 10×10 device matrix: `cell(tx_index,
+/// rx_index)` with the device on the horizontal axis transmitting to the
+/// device on the vertical axis.
+pub fn device_matrix(cell: impl Fn(usize, usize) -> f64 + Sync) {
+    print_matrix(&matrix_values(cell));
 }
 
 /// Render a row-major scalar field as an ASCII heat map (darker character =

@@ -5,7 +5,10 @@ use braidio_radio::reader::table2;
 
 /// Regenerate Table 2.
 pub fn run() {
-    banner("Table 2", "Power consumption and cost of commercial readers");
+    banner(
+        "Table 2",
+        "Power consumption and cost of commercial readers",
+    );
     println!(
         "{:>10} {:>18} {:>14} {:>8}",
         "model", "total power", "est. RX power", "cost"

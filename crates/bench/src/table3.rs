@@ -6,17 +6,28 @@ use braidio_radio::versions::{lineage, table3};
 
 /// Regenerate Table 3 and the §5 version history.
 pub fn run() {
-    banner("Table 3", "Commercial reader vs Braidio, technique by technique");
+    banner(
+        "Table 3",
+        "Commercial reader vs Braidio, technique by technique",
+    );
     for row in table3() {
         println!("\n[{}]", row.problem);
         println!("  commercial: {}", row.commercial);
         println!("  braidio:    {}", row.braidio);
     }
 
-    banner("§5 lineage", "Three hardware iterations of the reader-side design");
+    banner(
+        "§5 lineage",
+        "Three hardware iterations of the reader-side design",
+    );
     println!("{:>4} {:>12}  approach / verdict", "ver", "reader power");
     for v in lineage() {
-        println!("{:>4} {:>12}  {}", v.version, format!("{}", v.reader_power), v.approach);
+        println!(
+            "{:>4} {:>12}  {}",
+            v.version,
+            format!("{}", v.reader_power),
+            v.approach
+        );
         println!("{:>4} {:>12}  -> {}", "", "", v.verdict);
     }
 }

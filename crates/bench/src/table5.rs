@@ -7,7 +7,10 @@ use braidio_units::{BitsPerSecond, Watts};
 
 /// Regenerate Table 5.
 pub fn run() {
-    banner("Table 5", "Switching overhead in different modes (energy per switch)");
+    banner(
+        "Table 5",
+        "Switching overhead in different modes (energy per switch)",
+    );
     let s = SwitchingOverhead::table5();
     println!("{:>12} {:>14} {:>14}", "mode", "TX (Wh)", "RX (Wh)");
     for mode in Mode::ALL {

@@ -25,8 +25,7 @@ pub fn run() {
     for snr_db in [4.0, 6.0, 8.0, 10.0, 12.0] {
         let analytic = ber_ook_noncoherent(10f64.powf(snr_db / 10.0));
         let bits = ((50.0 / analytic) as usize).clamp(2_000, 60_000);
-        let mc = MonteCarloBer::at_snr_db(snr_db, BitsPerSecond::KBPS_100, bits, 7)
-            .run();
+        let mc = MonteCarloBer::at_snr_db(snr_db, BitsPerSecond::KBPS_100, bits, 7).run();
         let measured = mc.ber().max(0.5 / bits as f64);
         println!(
             "{:>9.1} {:>14.3e} {:>14.3e} {:>8.2}",
@@ -41,10 +40,7 @@ pub fn run() {
     println!("loss of a fixed (non-adaptive) slicer plus detector ISI — an error floor the");
     println!("ideal closed form does not have.");
 
-    banner(
-        "Validation B",
-        "Charge-pump transient vs closed-form laws",
-    );
+    banner("Validation B", "Charge-pump transient vs closed-form laws");
     for (stages, v_amp) in [(1usize, 1.0f64), (1, 0.5), (2, 1.0), (3, 0.8)] {
         let pump = DicksonChargePump::multi_stage(stages);
         let settled = pump

@@ -1,0 +1,25 @@
+//! The parallel engine's core guarantee: results are bit-identical at any
+//! thread count. Chunking is by index and merge order is fixed, so the
+//! thread count only changes wall-clock time, never output.
+
+use braidio::pool;
+use braidio_bench::{fig15, render};
+
+#[test]
+fn fig15_cell_is_pure() {
+    // A cell evaluated twice (possibly on different threads, with the memo
+    // cache warm the second time) must agree exactly.
+    let a = fig15::cell(3, 7);
+    let b = fig15::cell(3, 7);
+    assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+}
+
+#[test]
+fn device_matrix_identical_at_1_and_4_threads() {
+    let serial = pool::with_threads(1, || render::matrix_values(fig15::cell));
+    let par = pool::with_threads(4, || render::matrix_values(fig15::cell));
+    assert_eq!(serial.len(), par.len());
+    for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "cell {i}: {a} vs {b}");
+    }
+}

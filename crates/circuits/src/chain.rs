@@ -83,7 +83,10 @@ impl PassiveReceiverChain {
         // diode threshold).
         let pumped = self.pump.small_signal_output(v_env * self.matching_gain);
         // Loading of the baseband source impedance by the amplifier input.
-        let coupled = pumped * self.amplifier.coupling_at(self.source_impedance, f_baseband);
+        let coupled = pumped
+            * self
+                .amplifier
+                .coupling_at(self.source_impedance, f_baseband);
         // High-pass passes the baseband (corner is far below), amplifier
         // applies gain and rails.
         let hp = self.highpass.magnitude_at(f_baseband);
@@ -166,7 +169,10 @@ mod tests {
             s_amped <= s_bare - 19.0,
             "amplifier should buy ~20 dB: bare {s_bare:.1}, amped {s_amped:.1}"
         );
-        assert!((s_bare - -40.0).abs() < 8.0, "bare sensitivity {s_bare:.1} dBm");
+        assert!(
+            (s_bare - -40.0).abs() < 8.0,
+            "bare sensitivity {s_bare:.1} dBm"
+        );
     }
 
     #[test]
@@ -178,7 +184,7 @@ mod tests {
         let mut env = Vec::new();
         for &b in &bits {
             let v = if b { 0.2 } else { 0.02 };
-            env.extend(std::iter::repeat(v).take(100));
+            env.extend(std::iter::repeat_n(v, 100));
         }
         let sliced = c.demodulate(&env, dt);
         // Sample each bit 3/4 of the way in (allow settling).
@@ -195,10 +201,7 @@ mod tests {
         // After the turn-on transient settles, a static (DC) input must be
         // rejected by the high-pass: the slicer output shows no data edges
         // (the comparator may latch either state, but it cannot toggle).
-        let edges = sliced[300..]
-            .windows(2)
-            .filter(|w| w[0] != w[1])
-            .count();
+        let edges = sliced[300..].windows(2).filter(|w| w[0] != w[1]).count();
         assert_eq!(edges, 0, "static input produced {edges} edges");
     }
 

@@ -106,7 +106,7 @@ impl DicksonChargePump {
         );
         let steps = (duration.seconds() / dt_s).ceil() as usize;
         let n = self.stages * 2; // internal nodes: 1..n, node n is the output
-        // Node voltages; index 0 is ground (input coupling handled via dphi).
+                                 // Node voltages; index 0 is ground (input coupling handled via dphi).
         let mut v = vec![0.0f64; n + 1];
         let mut out = Transient {
             dt,
@@ -288,7 +288,10 @@ mod tests {
         let p = DicksonChargePump::multi_stage(1);
         let a = p.small_signal_output(0.002);
         let b = p.small_signal_output(0.004);
-        assert!((b / a - 4.0).abs() < 1e-9, "square law: doubling input quadruples output");
+        assert!(
+            (b / a - 4.0).abs() < 1e-9,
+            "square law: doubling input quadruples output"
+        );
     }
 
     #[test]
@@ -335,6 +338,10 @@ mod tests {
     #[should_panic(expected = "dt too large")]
     fn unstable_dt_rejected() {
         let pump = DicksonChargePump::fig3_single_stage();
-        let _ = pump.transient(|_| 0.0, Seconds::from_micros(10.0), Seconds::from_micros(1.0));
+        let _ = pump.transient(
+            |_| 0.0,
+            Seconds::from_micros(10.0),
+            Seconds::from_micros(1.0),
+        );
     }
 }

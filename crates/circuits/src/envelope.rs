@@ -103,7 +103,7 @@ mod tests {
         let mut samples = Vec::new();
         for s in 0..20 {
             let level = if s % 2 == 0 { 1.0 } else { 0.0 };
-            samples.extend(std::iter::repeat(level).take(per_symbol));
+            samples.extend(std::iter::repeat_n(level, per_symbol));
         }
         let out = det.run(&samples, dt);
         // Compare mid-symbol values of late symbols.
@@ -121,7 +121,7 @@ mod tests {
         let mut samples = Vec::new();
         for s in 0..20 {
             let level = if s % 2 == 0 { 1.0 } else { 0.0 };
-            samples.extend(std::iter::repeat(level).take(per_symbol));
+            samples.extend(std::iter::repeat_n(level, per_symbol));
         }
         let out = det.run(&samples, dt);
         let hi = out[16 * per_symbol + per_symbol - 1];

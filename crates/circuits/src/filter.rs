@@ -120,7 +120,11 @@ mod tests {
         let hp = HighPass::braidio_si_reject();
         let samples = vec![5.0; 4000];
         let out = hp.run(&samples, Seconds::from_micros(10.0));
-        assert!(out.last().unwrap().abs() < 0.05, "residual {}", out.last().unwrap());
+        assert!(
+            out.last().unwrap().abs() < 0.05,
+            "residual {}",
+            out.last().unwrap()
+        );
     }
 
     #[test]

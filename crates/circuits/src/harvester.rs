@@ -104,7 +104,7 @@ mod tests {
     }
 
     #[test]
-    fn harvested_power_monotone(){
+    fn harvested_power_monotone() {
         let h = Harvester::wisp();
         let mut prev = Watts::ZERO;
         for dbm in [-18.0, -15.0, -12.0, -8.0, -4.0, 0.0, 4.0] {
@@ -122,7 +122,11 @@ mod tests {
         let h = Harvester::wisp();
         let budget = LinkBudget::default();
         let range = h
-            .powered_range(&budget, Watts::from_dbm(13.0), Watts::from_microwatts(36.38))
+            .powered_range(
+                &budget,
+                Watts::from_dbm(13.0),
+                Watts::from_microwatts(36.38),
+            )
             .expect("powered somewhere");
         assert!(
             range.meters() > 0.1 && range.meters() < 2.0,

@@ -131,7 +131,11 @@ impl Event {
                 body.extend_from_slice(&delivered.to_be_bytes());
                 body.extend_from_slice(&lost.to_be_bytes());
             }
-            Event::Status { tx_soc, rx_soc, mode } => {
+            Event::Status {
+                tx_soc,
+                rx_soc,
+                mode,
+            } => {
                 body.push(0x84);
                 body.extend_from_slice(&[*tx_soc, *rx_soc, *mode]);
             }
@@ -400,7 +404,11 @@ mod tests {
         }
         let status = exec(&mut d, Command::Status);
         match status {
-            Event::Status { tx_soc, rx_soc, mode } => {
+            Event::Status {
+                tx_soc,
+                rx_soc,
+                mode,
+            } => {
                 assert!(tx_soc >= 99 && rx_soc >= 99);
                 assert_eq!(mode, 3, "watch->phone should braid backscatter-heavy");
             }
@@ -451,7 +459,11 @@ mod tests {
         let _ = exec(&mut d, Command::Send(500));
         assert_eq!(exec(&mut d, Command::Reset), Event::Ack(0x01));
         match exec(&mut d, Command::Status) {
-            Event::Status { tx_soc, rx_soc, mode } => {
+            Event::Status {
+                tx_soc,
+                rx_soc,
+                mode,
+            } => {
                 assert_eq!((tx_soc, rx_soc, mode), (100, 100, 0));
             }
             other => panic!("{other:?}"),

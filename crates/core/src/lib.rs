@@ -47,6 +47,7 @@
 pub use braidio_circuits as circuits;
 pub use braidio_mac as mac;
 pub use braidio_phy as phy;
+pub use braidio_pool as pool;
 pub use braidio_radio as radio;
 pub use braidio_rfsim as rfsim;
 pub use braidio_units as units;

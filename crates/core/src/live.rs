@@ -7,6 +7,7 @@
 //! MAC's failure handling ("Braidio simply falls back to the active mode if
 //! the current operating mode is performing poorly").
 
+use crate::trace::{LinkTracer, TraceEvent};
 use braidio_mac::offload::{solve, OffloadPlan};
 use braidio_mac::probe::LinkProber;
 use braidio_mac::scheduler::{BraidedScheduler, Decision};
@@ -16,7 +17,6 @@ use braidio_radio::devices::Device;
 use braidio_radio::switching::SwitchingOverhead;
 use braidio_radio::{Battery, Mode, Role};
 use braidio_rfsim::fault::{FaultInjector, Verdict};
-use crate::trace::{LinkTracer, TraceEvent};
 use braidio_units::{Joules, Meters, Seconds};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -151,7 +151,11 @@ impl LiveLink {
         LiveLink {
             ch: Characterization::braidio(),
             switching: SwitchingOverhead::table5(),
-            fault: FaultInjector::new(config.drop_chance, config.corrupt_chance, config.seed ^ 0xFA17),
+            fault: FaultInjector::new(
+                config.drop_chance,
+                config.corrupt_chance,
+                config.seed ^ 0xFA17,
+            ),
             rng: StdRng::seed_from_u64(config.seed),
             tx_battery: tx.battery(),
             rx_battery: rx.battery(),
@@ -234,7 +238,11 @@ impl LiveLink {
         self.stats.airtime += report.airtime;
         self.stats.replans += 1;
         let options = report.options(&self.ch);
-        match solve(&options, self.tx_battery.remaining(), self.rx_battery.remaining()) {
+        match solve(
+            &options,
+            self.tx_battery.remaining(),
+            self.rx_battery.remaining(),
+        ) {
             Some(plan) => {
                 self.scheduler =
                     Some(BraidedScheduler::new(&plan).with_quantum(self.config.braid_quantum));
@@ -517,7 +525,11 @@ mod tests {
             link.set_distance(Meters::new(0.5 + 0.001 * (i % 5) as f64));
             let _ = link.step();
         }
-        assert_eq!(link.stats().replans, replans, "centimeter jitter should not re-probe");
+        assert_eq!(
+            link.stats().replans,
+            replans,
+            "centimeter jitter should not re-probe"
+        );
     }
 
     #[test]

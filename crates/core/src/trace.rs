@@ -79,7 +79,11 @@ impl fmt::Display for TraceEvent {
                 f,
                 "{:>12.6}s  PLAN  {}",
                 at.seconds(),
-                if *planned { "installed" } else { "no viable mode" }
+                if *planned {
+                    "installed"
+                } else {
+                    "no viable mode"
+                }
             ),
             TraceEvent::LinkDown { at } => {
                 write!(f, "{:>12.6}s  DOWN  link out of range", at.seconds())
@@ -147,7 +151,10 @@ impl LinkTracer {
     pub fn dump(&self) -> String {
         let mut out = String::new();
         if self.dropped > 0 {
-            out.push_str(&format!("... {} earlier events dropped ...\n", self.dropped));
+            out.push_str(&format!(
+                "... {} earlier events dropped ...\n",
+                self.dropped
+            ));
         }
         for e in &self.events {
             out.push_str(&format!("{e}\n"));
@@ -197,9 +204,14 @@ mod tests {
     #[test]
     fn mode_switch_counting() {
         let mut t = LinkTracer::new(16);
-        for (i, mode) in [Mode::Passive, Mode::Backscatter, Mode::Backscatter, Mode::Passive]
-            .iter()
-            .enumerate()
+        for (i, mode) in [
+            Mode::Passive,
+            Mode::Backscatter,
+            Mode::Backscatter,
+            Mode::Passive,
+        ]
+        .iter()
+        .enumerate()
         {
             t.record(pkt(i as f64, *mode, true));
         }

@@ -1,0 +1,184 @@
+//! Vendored stand-in for the subset of the `criterion` API used by this
+//! workspace's benches.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! compatible, dependency-free measurement harness: [`Criterion`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`]. It reports median / mean / p95 per-iteration times
+//! on stdout instead of criterion's HTML + statistics machinery, and honours
+//! `--bench` (ignored) and a substring filter argument so `cargo bench foo`
+//! behaves as expected.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Substring filter from the CLI (run only matching benchmarks).
+    filter: Option<String>,
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench` plus any user filter strings.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark if it passes the CLI filter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            measurement: self.measurement,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Measures a closure's per-iteration time.
+pub struct Bencher {
+    samples: Vec<f64>,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, repeating it until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch takes ≥ ~1 ms, so timer overhead stays < 0.1%.
+        let mut batch = 1usize;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measurement: collect per-batch samples.
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline || self.samples.len() < 5 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / batch as f64);
+            if self.samples.len() >= 200 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let p95 = s[((s.len() as f64 * 0.95) as usize).saturating_sub(1)];
+        println!(
+            "{name:<40} median {:>12} mean {:>12} p95 {:>12} ({} samples)",
+            fmt_time(median),
+            fmt_time(mean),
+            fmt_time(p95),
+            s.len()
+        );
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.3} s", seconds)
+    }
+}
+
+/// Group benchmark functions under one runner entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            measurement: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(3u64).wrapping_mul(7));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz".into()),
+            measurement: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(5e-9), "5.0 ns");
+        assert_eq!(fmt_time(2.5e-6), "2.50 µs");
+        assert_eq!(fmt_time(1.25e-3), "1.25 ms");
+        assert_eq!(fmt_time(2.0), "2.000 s");
+    }
+}

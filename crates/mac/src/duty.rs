@@ -125,8 +125,7 @@ mod tests {
         // A camera streaming 500 MB/day through a Bluetooth radio: the
         // per-bit cost crushes the idle share.
         let heavy = DailyWorkload::bluetooth(8.0 * 5e8);
-        let idle_energy = heavy.idle_power
-            * (Seconds::new(86_400.0) - heavy.active_seconds());
+        let idle_energy = heavy.idle_power * (Seconds::new(86_400.0) - heavy.active_seconds());
         assert!(idle_energy.joules() / heavy.daily_energy().joules() < 0.1);
     }
 

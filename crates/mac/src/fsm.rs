@@ -111,10 +111,9 @@ impl OffloadFsm {
             (S::Fallback, E::RecomputeDue) => (S::Probing, A::SendProbes),
             (S::Fallback, E::PacketDelivered) => (S::Fallback, A::None),
             // Battery death ends the session from any live state.
-            (
-                S::ExchangingStatus | S::Probing | S::Braiding | S::Fallback,
-                E::BatteryDead,
-            ) => (S::Dead, A::Shutdown),
+            (S::ExchangingStatus | S::Probing | S::Braiding | S::Fallback, E::BatteryDead) => {
+                (S::Dead, A::Shutdown)
+            }
             (state, event) => {
                 debug_assert!(state == self.state);
                 return Err(event);

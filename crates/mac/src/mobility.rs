@@ -65,7 +65,14 @@ pub struct RandomWalk {
 
 impl RandomWalk {
     /// A walk starting at `start`, deterministically seeded.
-    pub fn new(start: Meters, min: Meters, max: Meters, step: Meters, interval: Seconds, seed: u64) -> Self {
+    pub fn new(
+        start: Meters,
+        min: Meters,
+        max: Meters,
+        step: Meters,
+        interval: Seconds,
+        seed: u64,
+    ) -> Self {
         assert!(min <= start && start <= max, "start must lie in [min, max]");
         assert!(step.meters() > 0.0 && interval.seconds() > 0.0);
         RandomWalk {
@@ -96,7 +103,9 @@ impl RandomWalk {
 impl MobilityTrace for RandomWalk {
     fn distance_at(&mut self, t: Seconds) -> Meters {
         while t >= self.next_step_at {
-            let delta = self.rng.random_range(-self.step.meters()..=self.step.meters());
+            let delta = self
+                .rng
+                .random_range(-self.step.meters()..=self.step.meters());
             let mut next = self.current.meters() + delta;
             // Reflect at the bounds.
             if next > self.max.meters() {
@@ -141,7 +150,10 @@ mod tests {
         let mut w = RandomWalk::room(7);
         for i in 0..10_000 {
             let d = w.distance_at(Seconds::new(i as f64 * 0.5));
-            assert!(d >= Meters::new(0.3) && d <= Meters::new(4.0), "{d} at step {i}");
+            assert!(
+                d >= Meters::new(0.3) && d <= Meters::new(4.0),
+                "{d} at step {i}"
+            );
         }
     }
 

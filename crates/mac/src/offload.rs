@@ -38,6 +38,8 @@
 use braidio_radio::characterization::{Characterization, Rate};
 use braidio_radio::Mode;
 use braidio_units::{Joules, JoulesPerBit, Meters};
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// One operating option: a (mode, bitrate) pair with its per-bit costs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,12 +73,14 @@ pub fn options_at(ch: &Characterization, d: Meters) -> Vec<LinkOption> {
     let mut opts = Vec::new();
     for mode in Mode::ALL {
         if let Some(rate) = ch.max_rate(mode, d) {
-            let p = ch.power(mode, rate).expect("rate came from the table");
+            let (tx_cost, rx_cost) = ch
+                .energy_per_bit(mode, rate)
+                .expect("rate came from the table");
             opts.push(LinkOption {
                 mode,
                 rate,
-                tx_cost: p.tx_energy_per_bit(),
-                rx_cost: p.rx_energy_per_bit(),
+                tx_cost,
+                rx_cost,
             });
         }
     }
@@ -255,13 +259,73 @@ pub fn solve(options: &[LinkOption], e1: Joules, e2: Joules) -> Option<OffloadPl
     Some(plan)
 }
 
+/// The memo key of one solver call: the exact option set (mode, rate and
+/// cost bits — no hashing of floats that could collide) plus the battery
+/// ratio quantized in the log domain. Fixed-size so building a key never
+/// allocates; `options_at` yields at most one option per mode.
+type MemoKey = ([(u8, u8, u64, u64); 3], usize, i64);
+
+/// Log-domain quantum for the battery ratio `k = E₁/E₂`: steps of
+/// 2⁻³² in ln(k), i.e. ~2.3e-10 relative resolution on `k` — far below
+/// every physical tolerance in the model, so memoized plans are
+/// indistinguishable from cold solves while nearby ratios share entries.
+const LN_K_QUANT: f64 = (1u64 << 32) as f64;
+
+/// Bound on the memo cache; reaching it clears the map (plans are pure
+/// functions of their key, so eviction never changes results).
+const MEMO_CAP: usize = 1024;
+
+fn memo_key(options: &[LinkOption], qk: i64) -> MemoKey {
+    let mut opts = [(0u8, 0u8, 0u64, 0u64); 3];
+    for (slot, o) in opts.iter_mut().zip(options) {
+        *slot = (
+            o.mode as u8,
+            o.rate as u8,
+            o.tx_cost.joules_per_bit().to_bits(),
+            o.rx_cost.joules_per_bit().to_bits(),
+        );
+    }
+    (opts, options.len(), qk)
+}
+
+/// [`solve`], memoized.
+///
+/// The plan depends on the batteries only through the ratio `k = E₁/E₂`,
+/// so calls are cached under the option set and `k` quantized to the
+/// [`LN_K_QUANT`] log-domain grid; a hit and a miss return bit-identical
+/// plans because the canonical solve itself uses the quantized ratio.
+/// The cache is process-wide, thread-safe, and bounded at [`MEMO_CAP`]
+/// entries. Simulation loops that re-solve every epoch against
+/// slowly-evolving energy levels hit the cache almost every time.
+pub fn solve_memo(options: &[LinkOption], e1: Joules, e2: Joules) -> Option<OffloadPlan> {
+    static CACHE: Mutex<Option<HashMap<MemoKey, Option<OffloadPlan>>>> = Mutex::new(None);
+    if options.is_empty() {
+        return None;
+    }
+    let lk = (e1 / e2).ln();
+    if !lk.is_finite() || options.len() > 3 {
+        return solve(options, e1, e2);
+    }
+    let qk = (lk * LN_K_QUANT).round() as i64;
+    let key = memo_key(options, qk);
+    let mut guard = CACHE.lock().unwrap_or_else(|e| e.into_inner());
+    let cache = guard.get_or_insert_with(HashMap::new);
+    if let Some(plan) = cache.get(&key) {
+        return plan.clone();
+    }
+    // Canonical solve on the quantized ratio: the cached value is a pure
+    // function of the key, independent of the exact (e1, e2) that missed.
+    let kq = (qk as f64 / LN_K_QUANT).exp();
+    let plan = solve(options, Joules::new(kq), Joules::new(1.0));
+    if cache.len() >= MEMO_CAP {
+        cache.clear();
+    }
+    cache.insert(key, plan.clone());
+    plan
+}
+
 /// Convenience: solve directly from a characterization and distance.
-pub fn solve_at(
-    ch: &Characterization,
-    d: Meters,
-    e1: Joules,
-    e2: Joules,
-) -> Option<OffloadPlan> {
+pub fn solve_at(ch: &Characterization, d: Meters, e1: Joules, e2: Joules) -> Option<OffloadPlan> {
     solve(&options_at(ch, d), e1, e2)
 }
 
@@ -357,16 +421,13 @@ mod tests {
         // 1:2546 to 3546:1 (in power terms) at full rate — the abstract's
         // headline dynamic range.
         let opts = close();
-        let max_asym = opts
-            .iter()
-            .map(|o| o.asymmetry())
-            .fold(f64::MIN, f64::max);
-        let min_asym = opts
-            .iter()
-            .map(|o| o.asymmetry())
-            .fold(f64::MAX, f64::min);
+        let max_asym = opts.iter().map(|o| o.asymmetry()).fold(f64::MIN, f64::max);
+        let min_asym = opts.iter().map(|o| o.asymmetry()).fold(f64::MAX, f64::min);
         assert!((max_asym - 2546.0).abs() / 2546.0 < 0.01, "max {max_asym}");
-        assert!((1.0 / min_asym - 3546.0).abs() / 3546.0 < 0.01, "min {min_asym}");
+        assert!(
+            (1.0 / min_asym - 3546.0).abs() / 3546.0 < 0.01,
+            "min {min_asym}"
+        );
     }
 
     #[test]
@@ -409,6 +470,58 @@ mod tests {
     #[test]
     fn no_options_no_plan() {
         assert!(solve(&[], wh(1.0), wh(1.0)).is_none());
+        assert!(solve_memo(&[], wh(1.0), wh(1.0)).is_none());
+    }
+
+    #[test]
+    fn memo_matches_cold_solve() {
+        let opts = close();
+        for ratio in [0.001, 0.05, 0.5, 1.0, 3.0, 42.0, 1000.0, 10_000.0] {
+            let cold = solve(&opts, wh(ratio), wh(1.0)).unwrap();
+            let memo = solve_memo(&opts, wh(ratio), wh(1.0)).unwrap();
+            assert_eq!(cold.exact, memo.exact, "ratio {ratio}");
+            assert_eq!(cold.allocations.len(), memo.allocations.len());
+            for (a, b) in cold.allocations.iter().zip(&memo.allocations) {
+                assert_eq!(a.option, b.option, "ratio {ratio}");
+                // The memoized plan is solved on the log-quantized ratio
+                // (~2e-10 relative), so fractions agree to far better than
+                // any physical tolerance without being bit-equal.
+                assert!(
+                    (a.fraction - b.fraction).abs() < 1e-8,
+                    "ratio {ratio}: {} vs {}",
+                    a.fraction,
+                    b.fraction
+                );
+            }
+            assert!(
+                (cold.tx_cost.joules_per_bit() / memo.tx_cost.joules_per_bit() - 1.0).abs() < 1e-8
+            );
+            assert!(
+                (cold.rx_cost.joules_per_bit() / memo.rx_cost.joules_per_bit() - 1.0).abs() < 1e-8
+            );
+        }
+    }
+
+    #[test]
+    fn memo_hit_is_bit_identical_to_its_miss() {
+        // Two calls with energies that differ but share a quantized ratio
+        // must return the identical cached plan.
+        let opts = close();
+        let a = solve_memo(&opts, wh(7.0), wh(1.0)).unwrap();
+        let b = solve_memo(&opts, wh(70.0), wh(10.0)).unwrap();
+        assert_eq!(a.allocations.len(), b.allocations.len());
+        for (x, y) in a.allocations.iter().zip(&b.allocations) {
+            assert_eq!(x.option, y.option);
+            assert_eq!(x.fraction.to_bits(), y.fraction.to_bits());
+        }
+        assert_eq!(
+            a.tx_cost.joules_per_bit().to_bits(),
+            b.tx_cost.joules_per_bit().to_bits()
+        );
+        assert_eq!(
+            a.rx_cost.joules_per_bit().to_bits(),
+            b.rx_cost.joules_per_bit().to_bits()
+        );
     }
 
     #[test]

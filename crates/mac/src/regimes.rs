@@ -60,7 +60,10 @@ impl Regime {
 /// characterization: `(a_to_b, b_to_c, c_to_out)` in meters.
 pub fn boundaries(ch: &Characterization) -> (Meters, Meters, Meters) {
     let a_to_b = ch
-        .range(Mode::Backscatter, braidio_radio::characterization::Rate::Kbps10)
+        .range(
+            Mode::Backscatter,
+            braidio_radio::characterization::Rate::Kbps10,
+        )
         .expect("backscatter closes somewhere");
     let b_to_c = ch
         .range(Mode::Passive, braidio_radio::characterization::Rate::Kbps10)

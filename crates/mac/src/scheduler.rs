@@ -72,6 +72,9 @@ impl BraidedScheduler {
 
     /// The next packet's option: largest-accumulated-credit rule applied at
     /// dwell boundaries.
+    // Not an `Iterator`: `Decision` is not an `Option` and the braid never
+    // ends on its own.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Decision {
         if self.consecutive_failures >= self.failure_threshold {
             return Decision::Replan;

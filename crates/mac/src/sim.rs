@@ -20,7 +20,7 @@
 //! * [`Policy::BestSingleMode`] — the best of the three in isolation
 //!   (Fig. 16's baseline).
 
-use crate::offload::{options_at, solve, OffloadPlan};
+use crate::offload::{options_at, solve_memo, OffloadPlan};
 use braidio_radio::bluetooth::BluetoothRadio;
 use braidio_radio::characterization::Characterization;
 use braidio_radio::switching::SwitchingOverhead;
@@ -231,7 +231,9 @@ fn switches_per_packet(plan: &OffloadPlan) -> f64 {
     if plan.allocations.len() < 2 {
         return 0.0;
     }
-    let p = plan.allocations[0].fraction.min(plan.allocations[1].fraction);
+    let p = plan.allocations[0]
+        .fraction
+        .min(plan.allocations[1].fraction);
     // Bresenham interleaving alternates 2·min(p, 1−p) of the time.
     2.0 * p.min(1.0 - p)
 }
@@ -267,7 +269,7 @@ fn simulate_braidio(setup: &TransferSetup) -> SimReport {
                 Role::Transmitter => (b1.remaining(), b2.remaining()),
                 Role::Receiver => (b2.remaining(), b1.remaining()),
             };
-            match solve(&opts, e_tx, e_rx) {
+            match solve_memo(&opts, e_tx, e_rx) {
                 Some(plan) => plans.push((dir1, share, plan)),
                 None => return report, // link out of range
             }
@@ -287,7 +289,11 @@ fn simulate_braidio(setup: &TransferSetup) -> SimReport {
             let (mut sw_tx, mut sw_rx) = (0.0, 0.0);
             if plan.allocations.len() == 2 {
                 for a in &plan.allocations {
-                    sw_tx += setup.switching.cost(a.option.mode, Role::Transmitter).joules() / 2.0;
+                    sw_tx += setup
+                        .switching
+                        .cost(a.option.mode, Role::Transmitter)
+                        .joules()
+                        / 2.0;
                     sw_rx += setup.switching.cost(a.option.mode, Role::Receiver).joules() / 2.0;
                 }
             }
@@ -356,7 +362,7 @@ pub fn simulate_mobile_transfer(
         report.epochs += 1;
         let d = trace.distance_at(report.duration);
         let opts = options_at(&setup.ch, d);
-        let Some(plan) = solve(&opts, b1.remaining(), b2.remaining()) else {
+        let Some(plan) = solve_memo(&opts, b1.remaining(), b2.remaining()) else {
             // Out of range right now: idle through one trace interval.
             report.duration += trace_interval;
             continue;
@@ -372,7 +378,14 @@ pub fn simulate_mobile_transfer(
         let bits_by_time = trace_interval.seconds() / time_per_bit;
         let bits_epoch = (bits_possible * EPOCH_FRACTION).min(bits_by_time);
         if !bits_epoch.is_finite() || bits_epoch < 1.0 {
-            drain(&mut b1, &mut b2, bits_possible.max(0.0), c1, c2, &mut report);
+            drain(
+                &mut b1,
+                &mut b2,
+                bits_possible.max(0.0),
+                c1,
+                c2,
+                &mut report,
+            );
             report.duration += Seconds::new(bits_possible.max(0.0) * time_per_bit);
             break;
         }
@@ -385,14 +398,7 @@ pub fn simulate_mobile_transfer(
     report
 }
 
-fn drain(
-    b1: &mut Battery,
-    b2: &mut Battery,
-    bits: f64,
-    c1: f64,
-    c2: f64,
-    report: &mut SimReport,
-) {
+fn drain(b1: &mut Battery, b2: &mut Battery, bits: f64, c1: f64, c2: f64, report: &mut SimReport) {
     let d1 = Joules::new(bits * c1);
     let d2 = Joules::new(bits * c2);
     b1.draw(d1);
@@ -563,13 +569,16 @@ mod tests {
         // Both finish the batteries; the walking pair moves fewer bits
         // because the cheap backscatter mode disappears mid-transfer.
         assert!(r_walk.bits > 0.0);
-        assert!(r_walk.bits < r_near.bits, "walk {} vs near {}", r_walk.bits, r_near.bits);
+        assert!(
+            r_walk.bits < r_near.bits,
+            "walk {} vs near {}",
+            r_walk.bits,
+            r_near.bits
+        );
         // The walk's braid includes a backscatter phase early on...
         assert!(r_walk.mode_share(Mode::Backscatter) > 0.0);
         // ...but less of it than the static near pair.
-        assert!(
-            r_walk.mode_share(Mode::Backscatter) < r_near.mode_share(Mode::Backscatter)
-        );
+        assert!(r_walk.mode_share(Mode::Backscatter) < r_near.mode_share(Mode::Backscatter));
     }
 
     #[test]

@@ -99,8 +99,12 @@ impl WaveformLink {
     /// plays the channel levels.
     fn envelope_at(&self, antenna: usize, levels: &[bool], rng: &mut StdRng) -> Vec<f64> {
         let bg = self.scene.background(antenna);
-        let v_on = self.scene.tag_phasor(self.tag_at, antenna, self.scene.tag.gamma_on);
-        let v_off = self.scene.tag_phasor(self.tag_at, antenna, self.scene.tag.gamma_off);
+        let v_on = self
+            .scene
+            .tag_phasor(self.tag_at, antenna, self.scene.tag.gamma_on);
+        let v_off = self
+            .scene
+            .tag_phasor(self.tag_at, antenna, self.scene.tag.gamma_off);
         let mut out = Vec::with_capacity(levels.len() * self.samples_per_symbol);
         for &level in levels {
             let v = if level { v_on } else { v_off };
@@ -117,7 +121,12 @@ impl WaveformLink {
     }
 
     /// Try to decode from one antenna's envelope.
-    fn receive_on(&self, antenna: usize, levels: &[bool], rng: &mut StdRng) -> Result<Frame, DecodeError> {
+    fn receive_on(
+        &self,
+        antenna: usize,
+        levels: &[bool],
+        rng: &mut StdRng,
+    ) -> Result<Frame, DecodeError> {
         let envelope = self.envelope_at(antenna, levels, rng);
         let sliced = self.chain.demodulate(&envelope, self.sample_interval());
         let half_syms = BitSync::new(self.samples_per_symbol).recover(&sliced);
@@ -226,7 +235,10 @@ mod tests {
     fn manchester_also_works() {
         let mut link = WaveformLink::paper_scene(Point::new(1.0, 1.0), 2);
         link.code = LineCode::Manchester;
-        assert!(matches!(link.transmit(&frame()), LinkResult::Delivered { .. }));
+        assert!(matches!(
+            link.transmit(&frame()),
+            LinkResult::Delivered { .. }
+        ));
     }
 
     #[test]
@@ -289,7 +301,10 @@ mod tests {
             near_ratio >= far_ratio,
             "near {near_ratio} vs far {far_ratio}"
         );
-        assert!(near_ratio > 0.8, "near link should mostly work: {near_ratio}");
+        assert!(
+            near_ratio > 0.8,
+            "near link should mostly work: {near_ratio}"
+        );
     }
 
     #[test]

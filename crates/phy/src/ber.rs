@@ -190,10 +190,7 @@ mod tests {
         // crosses BER = 1e-2 in the 8–11 dB SNR window.
         let gamma = snr_for_ber(ber_ook_noncoherent, 1e-2, 0.1, 1000.0);
         let snr_db = 10.0 * gamma.log10();
-        assert!(
-            (8.0..=11.5).contains(&snr_db),
-            "1% BER at {snr_db:.2} dB"
-        );
+        assert!((8.0..=11.5).contains(&snr_db), "1% BER at {snr_db:.2} dB");
     }
 
     #[test]
@@ -212,7 +209,10 @@ mod tests {
             let exact = ber_ook_noncoherent(gamma);
             let fast = ber_ook_noncoherent_fast(gamma);
             let rel = (fast - exact).abs() / exact.max(1e-12);
-            assert!(rel < 5e-3, "snr {snr_db} dB: exact {exact:.6e} fast {fast:.6e}");
+            assert!(
+                rel < 5e-3,
+                "snr {snr_db} dB: exact {exact:.6e} fast {fast:.6e}"
+            );
         }
         // Out-of-range behaviour.
         assert_eq!(ber_ook_noncoherent_fast(1e-6), 0.5);

@@ -75,7 +75,7 @@ impl LineCode {
         match self {
             LineCode::Nrz => Some(levels.to_vec()),
             LineCode::Manchester => {
-                if levels.len() % 2 != 0 {
+                if !levels.len().is_multiple_of(2) {
                     return None;
                 }
                 levels
@@ -88,7 +88,7 @@ impl LineCode {
                     .collect()
             }
             LineCode::Fm0 => {
-                if levels.len() % 2 != 0 {
+                if !levels.len().is_multiple_of(2) {
                     return None;
                 }
                 // A bit is 1 when the two half-symbols agree (no mid-bit
@@ -185,10 +185,10 @@ mod tests {
     fn fm0_balance_bounded_even_on_runs() {
         // All-ones is FM0's worst case (no mid-bit transitions) but the
         // boundary transitions alone keep it perfectly alternating.
-        let enc = LineCode::Fm0.encode(&vec![true; 100]);
+        let enc = LineCode::Fm0.encode(&[true; 100]);
         assert!(dc_balance(&enc).abs() < 0.02);
         // All-zeros: transitions everywhere, balanced too.
-        let enc = LineCode::Fm0.encode(&vec![false; 100]);
+        let enc = LineCode::Fm0.encode(&[false; 100]);
         assert!(dc_balance(&enc).abs() < 0.02);
     }
 

@@ -103,8 +103,7 @@ impl Hamming74 {
         assert!((0.0..=1.0).contains(&p));
         let q = 1.0 - p;
         let p_word_ok = q.powi(7) + 7.0 * p * q.powi(6);
-        (1.0 - p_word_ok).min(1.0)
-            * 0.5 // average fraction of payload bits corrupted in a bad word
+        (1.0 - p_word_ok).min(1.0) * 0.5 // average fraction of payload bits corrupted in a bad word
     }
 }
 
@@ -143,7 +142,10 @@ impl BlockInterleaver {
     /// Inverse of [`BlockInterleaver::interleave`].
     pub fn deinterleave(&self, bits: &[bool]) -> Vec<bool> {
         let n = self.rows * self.cols;
-        assert!(bits.len() % n == 0, "deinterleave needs whole blocks");
+        assert!(
+            bits.len().is_multiple_of(n),
+            "deinterleave needs whole blocks"
+        );
         let mut out = Vec::with_capacity(bits.len());
         for block in bits.chunks(n) {
             for r in 0..self.rows {
@@ -216,16 +218,20 @@ mod tests {
         let coded = h.encode(&bits);
         let mut on_air = il.interleave(&coded);
         // An 8-bit burst on the air...
-        for i in 12..20 {
-            on_air[i] = !on_air[i];
+        for b in on_air[12..20].iter_mut() {
+            *b = !*b;
         }
         let received = il.deinterleave(&on_air);
         let (decoded, _) = h.decode(&received);
-        assert_eq!(&decoded[..bits.len()], &bits[..], "burst should be fully corrected");
+        assert_eq!(
+            &decoded[..bits.len()],
+            &bits[..],
+            "burst should be fully corrected"
+        );
         // ...which WITHOUT interleaving would corrupt data.
         let mut no_il = coded.clone();
-        for i in 12..20 {
-            no_il[i] = !no_il[i];
+        for b in no_il[12..20].iter_mut() {
+            *b = !*b;
         }
         let (bad, _) = h.decode(&no_il);
         assert_ne!(&bad[..bits.len()], &bits[..]);

@@ -59,7 +59,7 @@ impl Frame {
     /// Serialize to the on-air bit sequence (MSB first).
     pub fn encode(&self) -> Vec<bool> {
         let mut bytes = Vec::with_capacity(DEFAULT_PREAMBLE_OCTETS + 5 + self.payload.len());
-        bytes.extend(std::iter::repeat(0xAAu8).take(DEFAULT_PREAMBLE_OCTETS));
+        bytes.extend(std::iter::repeat_n(0xAAu8, DEFAULT_PREAMBLE_OCTETS));
         bytes.extend_from_slice(&SYNC_WORD.to_be_bytes());
         let mut body = vec![self.payload.len() as u8];
         body.extend_from_slice(&self.payload);
@@ -105,7 +105,10 @@ pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
 
 /// Pack MSB-first bits into bytes (bit count must be a multiple of 8).
 pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
-    assert!(bits.len() % 8 == 0, "bit count must be a multiple of 8");
+    assert!(
+        bits.len().is_multiple_of(8),
+        "bit count must be a multiple of 8"
+    );
     bits.chunks(8)
         .map(|chunk| chunk.iter().fold(0u8, |acc, &b| (acc << 1) | b as u8))
         .collect()

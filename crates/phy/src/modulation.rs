@@ -24,7 +24,10 @@ impl OokModulator {
     /// A modulator with the given levels and resolution.
     pub fn new(samples_per_bit: usize, high: f64, low: f64) -> Self {
         assert!(samples_per_bit >= 2, "need at least 2 samples per bit");
-        assert!(high > low && low >= 0.0, "levels must satisfy high > low >= 0");
+        assert!(
+            high > low && low >= 0.0,
+            "levels must satisfy high > low >= 0"
+        );
         OokModulator {
             samples_per_bit,
             high,
@@ -51,7 +54,7 @@ impl OokModulator {
         let mut out = Vec::with_capacity(bits.len() * self.samples_per_bit);
         for &b in bits {
             let level = if b { self.high } else { self.low };
-            out.extend(std::iter::repeat(level).take(self.samples_per_bit));
+            out.extend(std::iter::repeat_n(level, self.samples_per_bit));
         }
         out
     }

@@ -7,12 +7,45 @@
 //! Gaussian envelope noise, and counts errors. It validates the closed
 //! forms and exposes the chain's real-world penalties (ISI at high
 //! bitrates, settling, hysteresis).
+//!
+//! ## Chunked bit stream
+//!
+//! A run is split into independent bursts of at most [`CHUNK_BITS`] data
+//! bits. Each chunk carries its own training preamble and draws its bits
+//! and noise from its own RNG stream, seeded by a pure function of the run
+//! seed and the chunk index ([`chunk_seed`]). Chunks are therefore
+//! order-independent: they are evaluated concurrently on the
+//! `braidio_pool` work pool and merged in index order, so a run's
+//! [`BerEstimate`] is bit-identical at any thread count. The chunking
+//! *redefines* the simulated bit stream relative to a single monolithic
+//! burst — one long transmission becomes `ceil(bits / CHUNK_BITS)` short
+//! ones — but every chunk still settles through its own preamble, so the
+//! estimator targets the same steady-state BER.
 
 use crate::modulation::OokModulator;
 use braidio_circuits::PassiveReceiverChain;
+use braidio_pool as pool;
 use braidio_units::{BitsPerSecond, Seconds};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Maximum number of data bits simulated per independent chunk.
+///
+/// Small enough that the 10k–100k-bit calibration runs expose parallelism,
+/// large enough that the 16-bit training preamble stays a small overhead.
+pub const CHUNK_BITS: usize = 4096;
+
+/// The RNG seed of chunk `chunk` of a run started with `seed`.
+///
+/// A SplitMix64-style finalizer over the pair: a pure function of its
+/// arguments, so the bit stream of every chunk is fixed regardless of
+/// which thread evaluates it or in what order.
+pub fn chunk_seed(seed: u64, chunk: u64) -> u64 {
+    let mut z = seed.wrapping_add(chunk.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Configuration of a Monte-Carlo BER run.
 #[derive(Debug, Clone)]
@@ -90,17 +123,34 @@ impl MonteCarloBer {
         }
     }
 
-    /// Run the experiment.
+    /// Run the experiment: evaluate the run's chunks concurrently and merge
+    /// their counts in index order (see the module docs on chunking).
     pub fn run(&self) -> BerEstimate {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let nchunks = self.bits.div_ceil(CHUNK_BITS);
+        let estimates = pool::par_map_indexed(nchunks, |c| {
+            let nbits = CHUNK_BITS.min(self.bits - c * CHUNK_BITS);
+            self.run_chunk(nbits, chunk_seed(self.seed, c as u64))
+        });
+        estimates
+            .iter()
+            .fold(BerEstimate { bits: 0, errors: 0 }, |acc, e| BerEstimate {
+                bits: acc.bits + e.bits,
+                errors: acc.errors + e.errors,
+            })
+    }
+
+    /// One independent burst of `nbits` data bits behind a fresh training
+    /// preamble, with its own RNG stream.
+    fn run_chunk(&self, nbits: usize, seed: u64) -> BerEstimate {
+        let mut rng = StdRng::seed_from_u64(seed);
         // Leading training bits let the high-pass and comparator settle and
         // are excluded from the count (they play the preamble's role).
         let training = 16usize;
-        let mut bits: Vec<bool> = Vec::with_capacity(training + self.bits);
+        let mut bits: Vec<bool> = Vec::with_capacity(training + nbits);
         for i in 0..training {
             bits.push(i % 2 == 0);
         }
-        for _ in 0..self.bits {
+        for _ in 0..nbits {
             bits.push(rng.random_bool(0.5));
         }
 
@@ -128,7 +178,7 @@ impl MonteCarloBer {
             }
         }
         BerEstimate {
-            bits: self.bits,
+            bits: nbits,
             errors,
         }
     }
@@ -190,6 +240,19 @@ mod tests {
         let a = MonteCarloBer::at_snr_db(6.0, BitsPerSecond::KBPS_100, 1000, 9).run();
         let b = MonteCarloBer::at_snr_db(6.0, BitsPerSecond::KBPS_100, 1000, 9).run();
         assert_eq!(a.errors, b.errors);
+    }
+
+    #[test]
+    fn identical_at_any_thread_count() {
+        // Spans three chunks (4096 + 4096 + 1808); counts must not depend
+        // on how chunks land on threads.
+        let mc = MonteCarloBer::at_snr_db(6.0, BitsPerSecond::KBPS_100, 10_000, 7);
+        let serial = pool::with_threads(1, || mc.run());
+        for n in [2usize, 4] {
+            let par = pool::with_threads(n, || mc.run());
+            assert_eq!(serial.errors, par.errors, "threads={n}");
+            assert_eq!(serial.bits, par.bits, "threads={n}");
+        }
     }
 
     #[test]

@@ -44,11 +44,11 @@ impl Pie {
     pub fn encode(&self, bits: &[bool]) -> Vec<bool> {
         let mut out = Vec::with_capacity(bits.len() * (2 * self.tari + self.pw) + self.pw);
         // Delimiter: a bare OFF pulse.
-        out.extend(std::iter::repeat(false).take(self.pw));
+        out.extend(std::iter::repeat_n(false, self.pw));
         for &b in bits {
             let on = if b { 2 * self.tari } else { self.tari };
-            out.extend(std::iter::repeat(true).take(on));
-            out.extend(std::iter::repeat(false).take(self.pw));
+            out.extend(std::iter::repeat_n(true, on));
+            out.extend(std::iter::repeat_n(false, self.pw));
         }
         out
     }

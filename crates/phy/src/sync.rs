@@ -70,7 +70,7 @@ mod tests {
 
     fn oversample(bits: &[bool], spb: usize) -> Vec<bool> {
         bits.iter()
-            .flat_map(|&b| std::iter::repeat(b).take(spb))
+            .flat_map(|&b| std::iter::repeat_n(b, spb))
             .collect()
     }
 
@@ -128,9 +128,7 @@ mod tests {
         let recovered = sync.recover(&samples);
         // Find the alternating pattern somewhere in the output.
         let target = &bits[..50];
-        let found = recovered
-            .windows(target.len())
-            .any(|w| w == target);
+        let found = recovered.windows(target.len()).any(|w| w == target);
         assert!(found, "alternating payload not recovered");
     }
 

@@ -126,7 +126,7 @@ proptest! {
     #[test]
     fn bitsync_recovers_ideal_streams(bits in proptest::collection::vec(any::<bool>(), 8..128)) {
         let spb = 16usize;
-        let samples: Vec<bool> = bits.iter().flat_map(|&b| std::iter::repeat(b).take(spb)).collect();
+        let samples: Vec<bool> = bits.iter().flat_map(|&b| std::iter::repeat_n(b, spb)).collect();
         let recovered = BitSync::new(spb).recover(&samples);
         prop_assert_eq!(recovered.len(), bits.len());
         prop_assert_eq!(recovered, bits);

@@ -1,0 +1,202 @@
+//! Deterministic parallel execution for the simulation engine.
+//!
+//! Every sweep in the Braidio evaluation — the 10×10 device matrices of
+//! Figs. 15–17, the distance grid of Fig. 18, Monte-Carlo BER chunks — is
+//! embarrassingly parallel at the *index* level: cell `(i)` is a pure
+//! function of `i`. This module runs such maps on scoped `std::thread`
+//! workers while keeping the result **bit-for-bit identical at any thread
+//! count**:
+//!
+//! * work is chunked by *index*, never by thread: chunk boundaries are a
+//!   pure function of the item count, and each index's value is computed
+//!   by calling the same pure closure;
+//! * results are merged in chunk order, so the output `Vec` is the same
+//!   one a serial `map` would produce;
+//! * threads only race for *which chunk to grab next* (an atomic
+//!   counter), which affects scheduling, not values.
+//!
+//! Thread count resolution (first match wins):
+//! 1. [`set_threads`] (the `experiments --jobs N` flag),
+//! 2. the `BRAIDIO_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! No dependencies, in the workspace's smoltcp-style spirit (DESIGN.md §5).
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide override installed by [`set_threads`]. Zero means "unset".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the worker count for all subsequent parallel maps.
+///
+/// `set_threads(0)` clears the override, restoring `BRAIDIO_THREADS` /
+/// auto-detection. This is what `experiments --jobs N` calls.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The number of worker threads parallel maps will use.
+pub fn thread_count() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("BRAIDIO_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `set_threads(n)`, evaluate `f`, then restore the previous override.
+///
+/// Intended for tests and benches that compare thread counts; not safe
+/// against *concurrent* callers mutating the override (the global is
+/// process-wide by design — the experiment driver sets it once at startup).
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.swap(n, Ordering::SeqCst));
+    f()
+}
+
+/// Map `f` over `0..n` in parallel, returning results in index order.
+///
+/// Deterministic: for a pure `f`, the result is identical at any thread
+/// count (including 1). Panics in `f` propagate to the caller.
+pub fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = thread_count().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    // Index-based chunking: boundaries depend only on `n` and a fixed
+    // oversubscription factor, never on which thread runs what.
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let nchunks = n.div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(nchunks));
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= nchunks {
+                    break;
+                }
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(n);
+                let values: Vec<R> = (lo..hi).map(&f).collect();
+                done.lock()
+                    .expect("worker panicked holding results")
+                    .push((c, values));
+            });
+        }
+    });
+
+    let mut parts = done.into_inner().expect("worker panicked holding results");
+    parts.sort_unstable_by_key(|&(c, _)| c);
+    debug_assert_eq!(parts.len(), nchunks);
+    parts.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+/// Map `f` over a slice in parallel, returning results in input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that mutate the process-wide override.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serialized() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn matches_serial_map() {
+        let _guard = serialized();
+        let serial: Vec<u64> = (0..1000)
+            .map(|i| (i as u64).wrapping_mul(2654435761))
+            .collect();
+        let parallel = with_threads(4, || {
+            par_map_indexed(1000, |i| (i as u64).wrapping_mul(2654435761))
+        });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn identical_at_any_thread_count() {
+        let _guard = serialized();
+        let f = |i: usize| (i as f64).sqrt().sin();
+        let one = with_threads(1, || par_map_indexed(777, f));
+        for threads in [2, 3, 4, 8, 16] {
+            let many = with_threads(threads, || par_map_indexed(777, f));
+            assert_eq!(one.len(), many.len());
+            for (a, b) in one.iter().zip(&many) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_over_slice() {
+        let _guard = serialized();
+        let items: Vec<i32> = (0..57).collect();
+        let doubled = with_threads(3, || par_map(&items, |x| x * 2));
+        assert_eq!(doubled, (0..57).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(par_map_indexed(0, |i| i).is_empty());
+        assert_eq!(par_map_indexed(1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn override_beats_env_and_clears() {
+        let _guard = serialized();
+        set_threads(3);
+        assert_eq!(thread_count(), 3);
+        set_threads(0);
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let _guard = serialized();
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map_indexed(100, |i| {
+                    assert!(i != 57, "intentional");
+                    i
+                })
+            })
+        });
+        assert!(result.is_err());
+    }
+}

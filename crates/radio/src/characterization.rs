@@ -17,6 +17,7 @@ use braidio_phy::ber::{ber_coherent, ber_ook_noncoherent, ber_ook_noncoherent_fa
 use braidio_rfsim::noise::CoherentReceiverNoise;
 use braidio_rfsim::LinkBudget;
 use braidio_units::{BitsPerSecond, Decibels, Hertz, JoulesPerBit, Meters, Watts};
+use std::sync::OnceLock;
 
 /// The three canonical Braidio bitrates, as a hashable enum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -104,6 +105,36 @@ pub struct Characterization {
     active_noise: Watts,
     /// SNR (linear) at which noncoherent OOK hits [`OPERATIONAL_BER`].
     gamma_star: f64,
+    /// Tables derived from the fields above, rebuilt whenever they change.
+    derived: Derived,
+}
+
+/// Per-(mode, rate) lookup tables precomputed at construction so the hot
+/// query paths (`power`, `detector_noise`, `energy_per_bit`, `range`) are
+/// plain array indexing instead of scans or bisections. Indexed
+/// `[mode_ix][rate_ix]`.
+#[derive(Debug, Clone, Default)]
+struct Derived {
+    power: [[Option<PowerPoint>; 3]; 3],
+    noise: [[Option<Watts>; 3]; 3],
+    per_bit: [[Option<(JoulesPerBit, JoulesPerBit)>; 3]; 3],
+    range: [[Option<Meters>; 3]; 3],
+}
+
+fn mode_ix(mode: Mode) -> usize {
+    match mode {
+        Mode::Active => 0,
+        Mode::Passive => 1,
+        Mode::Backscatter => 2,
+    }
+}
+
+fn rate_ix(rate: Rate) -> usize {
+    match rate {
+        Rate::Kbps10 => 0,
+        Rate::Kbps100 => 1,
+        Rate::Mbps1 => 2,
+    }
 }
 
 /// The measured BER = 1e-2 range anchors (Fig. 13).
@@ -123,7 +154,16 @@ fn range_anchor(mode: Mode, rate: Rate) -> Option<Meters> {
 impl Characterization {
     /// The Braidio board as characterized in §6 (see DESIGN.md §3 for the
     /// full provenance of every constant).
+    ///
+    /// The characterization is a pure constant, but building it involves
+    /// Marcum-Q bisections and range calibration, so it is constructed once
+    /// per process and cheaply cloned out of a static cache.
     pub fn braidio() -> Self {
+        static BRAIDIO: OnceLock<Characterization> = OnceLock::new();
+        BRAIDIO.get_or_init(Self::build_braidio).clone()
+    }
+
+    fn build_braidio() -> Self {
         use Mode::*;
         use Rate::*;
         let points = vec![
@@ -187,10 +227,9 @@ impl Characterization {
         // The operational-threshold SNR is a pure constant of the detection
         // statistics; computing it involves a bisection over Marcum-Q
         // evaluations, so cache it process-wide.
-        use std::sync::OnceLock;
         static GAMMA_STAR: OnceLock<f64> = OnceLock::new();
-        let gamma_star = *GAMMA_STAR
-            .get_or_init(|| snr_for_ber(ber_ook_noncoherent, OPERATIONAL_BER, 0.1, 1e4));
+        let gamma_star =
+            *GAMMA_STAR.get_or_init(|| snr_for_ber(ber_ook_noncoherent, OPERATIONAL_BER, 0.1, 1e4));
 
         // Calibrate the detector noise floor per (mode, rate) so that the
         // link hits OPERATIONAL_BER exactly at the measured anchor range.
@@ -210,7 +249,7 @@ impl Characterization {
         }
         .power();
 
-        Characterization {
+        let mut c = Characterization {
             budget,
             carrier_rf,
             active_rf,
@@ -218,6 +257,33 @@ impl Characterization {
             noise,
             active_noise,
             gamma_star,
+            derived: Derived::default(),
+        };
+        c.rebuild_derived();
+        c
+    }
+
+    /// Rebuild the precomputed lookup tables from the current power table,
+    /// noise calibration and link budget. Must be called after any field
+    /// mutation (see [`Characterization::with_carrier_dbm`]).
+    fn rebuild_derived(&mut self) {
+        let mut d = Derived::default();
+        for p in &self.points {
+            let (mi, ri) = (mode_ix(p.mode), rate_ix(p.rate));
+            d.power[mi][ri] = Some(*p);
+            d.per_bit[mi][ri] = Some((p.tx_energy_per_bit(), p.rx_energy_per_bit()));
+        }
+        for &((mode, rate), n) in &self.noise {
+            d.noise[mode_ix(mode)][rate_ix(rate)] = Some(n);
+        }
+        // Install power/noise first: the range bisection queries them
+        // through `ber`.
+        self.derived = d;
+        for mode in Mode::ALL {
+            for rate in Rate::ALL {
+                let r = self.range_by_bisection(mode, rate);
+                self.derived.range[mode_ix(mode)][rate_ix(rate)] = r;
+            }
         }
     }
 
@@ -242,16 +308,19 @@ impl Characterization {
                 Mode::Active => {}
             }
         }
+        self.rebuild_derived();
         self
     }
 
     /// The power-table row for a mode/rate, if that combination exists
     /// (the active radio only runs at 1 Mbps).
     pub fn power(&self, mode: Mode, rate: Rate) -> Option<PowerPoint> {
-        self.points
-            .iter()
-            .copied()
-            .find(|p| p.mode == mode && p.rate == rate)
+        self.derived.power[mode_ix(mode)][rate_ix(rate)]
+    }
+
+    /// Precomputed per-bit costs `(Tᵢ, Rᵢ)` for a mode/rate, if it exists.
+    pub fn energy_per_bit(&self, mode: Mode, rate: Rate) -> Option<(JoulesPerBit, JoulesPerBit)> {
+        self.derived.per_bit[mode_ix(mode)][rate_ix(rate)]
     }
 
     /// All power-table rows.
@@ -266,10 +335,7 @@ impl Characterization {
 
     /// Detector noise-equivalent power for a detector-based mode.
     pub fn detector_noise(&self, mode: Mode, rate: Rate) -> Option<Watts> {
-        self.noise
-            .iter()
-            .find(|(k, _)| *k == (mode, rate))
-            .map(|&(_, n)| n)
+        self.derived.noise[mode_ix(mode)][rate_ix(rate)]
     }
 
     /// Received signal power at the data receiver for a mode at distance
@@ -317,12 +383,17 @@ impl Characterization {
             .find(|&r| self.power(mode, r).is_some() && self.available(mode, r, d))
     }
 
-    /// The operational range (BER = threshold crossing) of a mode/rate, by
-    /// bisection.
+    /// The operational range (BER = threshold crossing) of a mode/rate.
+    ///
+    /// Precomputed at construction; this is a table lookup.
     pub fn range(&self, mode: Mode, rate: Rate) -> Option<Meters> {
-        if self.power(mode, rate).is_none() {
-            return None;
-        }
+        self.derived.range[mode_ix(mode)][rate_ix(rate)]
+    }
+
+    /// The bisection behind [`Characterization::range`], run once per
+    /// (mode, rate) when the derived tables are rebuilt.
+    fn range_by_bisection(&self, mode: Mode, rate: Rate) -> Option<Meters> {
+        self.power(mode, rate)?;
         if self.ber(mode, rate, Meters::new(0.05)) > OPERATIONAL_BER {
             return None;
         }
@@ -437,7 +508,10 @@ mod tests {
     fn max_rate_degrades_with_distance() {
         let c = ch();
         // Backscatter: 1M -> 100k -> 10k -> unavailable (Fig. 14's story).
-        assert_eq!(c.max_rate(Mode::Backscatter, Meters::new(0.3)), Some(Rate::Mbps1));
+        assert_eq!(
+            c.max_rate(Mode::Backscatter, Meters::new(0.3)),
+            Some(Rate::Mbps1)
+        );
         assert_eq!(
             c.max_rate(Mode::Backscatter, Meters::new(1.2)),
             Some(Rate::Kbps100)
@@ -448,7 +522,10 @@ mod tests {
         );
         assert_eq!(c.max_rate(Mode::Backscatter, Meters::new(3.0)), None);
         // Passive holds on much longer.
-        assert_eq!(c.max_rate(Mode::Passive, Meters::new(3.0)), Some(Rate::Mbps1));
+        assert_eq!(
+            c.max_rate(Mode::Passive, Meters::new(3.0)),
+            Some(Rate::Mbps1)
+        );
         assert_eq!(c.max_rate(Mode::Passive, Meters::new(5.5)), None);
     }
 
@@ -487,8 +564,12 @@ mod tests {
             assert!((a.rx.watts() - b.rx.watts()).abs() < 1e-12);
         }
         assert_eq!(
-            base.range(Mode::Backscatter, Rate::Kbps100).unwrap().meters(),
-            same.range(Mode::Backscatter, Rate::Kbps100).unwrap().meters()
+            base.range(Mode::Backscatter, Rate::Kbps100)
+                .unwrap()
+                .meters(),
+            same.range(Mode::Backscatter, Rate::Kbps100)
+                .unwrap()
+                .meters()
         );
     }
 
@@ -517,6 +598,29 @@ mod tests {
         let loud = ch().with_carrier_dbm(17.0);
         let r = loud.range(Mode::Backscatter, Rate::Kbps100).unwrap();
         assert!(r > Meters::new(2.0), "17 dBm range {r}");
+    }
+
+    #[test]
+    fn derived_tables_match_their_sources() {
+        let c = ch();
+        for mode in Mode::ALL {
+            for rate in Rate::ALL {
+                match c.power(mode, rate) {
+                    Some(p) => {
+                        let (t, r) = c.energy_per_bit(mode, rate).expect("row exists");
+                        assert_eq!(t.joules_per_bit(), p.tx_energy_per_bit().joules_per_bit());
+                        assert_eq!(r.joules_per_bit(), p.rx_energy_per_bit().joules_per_bit());
+                    }
+                    None => assert!(c.energy_per_bit(mode, rate).is_none()),
+                }
+                assert_eq!(
+                    c.range(mode, rate).map(|m| m.meters()),
+                    c.range_by_bisection(mode, rate).map(|m| m.meters()),
+                    "{mode} {}",
+                    rate.label()
+                );
+            }
+        }
     }
 
     #[test]

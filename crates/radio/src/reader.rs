@@ -105,7 +105,8 @@ impl CommercialReader {
         let carrier_rf = Watts::from_dbm(17.0);
         // Calibrate the coherent receiver's noise floor so BER = 1e-2 at
         // exactly 3 m (the Fig. 12 measurement).
-        let gamma_star = braidio_phy::ber::snr_for_ber(ber_coherent, Self::OPERATIONAL_BER, 0.1, 1e4);
+        let gamma_star =
+            braidio_phy::ber::snr_for_ber(ber_coherent, Self::OPERATIONAL_BER, 0.1, 1e4);
         let rx_at_anchor =
             budget.received_power(LinkKind::Backscatter, carrier_rf, Meters::new(3.0));
         CommercialReader {

@@ -191,7 +191,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "passive reflector")]
     fn active_reflector_rejected() {
-        let _ = Environment::free_space().with_reflector(Point::new(1.0, 1.0), Complex::new(2.0, 0.0));
+        let _ =
+            Environment::free_space().with_reflector(Point::new(1.0, 1.0), Complex::new(2.0, 0.0));
     }
 
     #[test]

@@ -81,13 +81,13 @@ impl LinkBudget {
     /// separation `d`.
     pub fn channel_gain(&self, kind: LinkKind, d: Meters) -> Decibels {
         match kind {
-            LinkKind::Active => free_space_gain(d, self.frequency)
-                + self.tx_antenna_gain
-                + self.rx_antenna_gain,
-            LinkKind::PassiveRx => free_space_gain(d, self.frequency)
-                + self.tx_antenna_gain
-                + self.rx_antenna_gain
-                - self.detector_frontend_loss,
+            LinkKind::Active => {
+                free_space_gain(d, self.frequency) + self.tx_antenna_gain + self.rx_antenna_gain
+            }
+            LinkKind::PassiveRx => {
+                free_space_gain(d, self.frequency) + self.tx_antenna_gain + self.rx_antenna_gain
+                    - self.detector_frontend_loss
+            }
             LinkKind::Backscatter => {
                 // Monostatic: carrier out over d, reflection back over d.
                 backscatter_gain(d, d, self.frequency, self.backscatter)
@@ -214,7 +214,12 @@ mod tests {
             .expect("reachable");
         // At the returned range the received power matches the sensitivity.
         let rx = b.received_power(LinkKind::PassiveRx, tx, r);
-        assert!((rx.dbm() - sens.dbm()).abs() < 0.01, "rx {} at {}", rx.dbm(), r);
+        assert!(
+            (rx.dbm() - sens.dbm()).abs() < 0.01,
+            "rx {} at {}",
+            rx.dbm(),
+            r
+        );
     }
 
     #[test]

@@ -205,7 +205,10 @@ mod tests {
     fn two_ray_breakpoint_formula() {
         let bp = two_ray_breakpoint(Meters::new(1.0), Meters::new(1.0), F);
         assert!((bp.meters() - 4.0 / F.wavelength().meters()).abs() < 1e-9);
-        assert!(bp.meters() > 6.0, "bench experiments sit inside the ripple zone");
+        assert!(
+            bp.meters() > 6.0,
+            "bench experiments sit inside the ripple zone"
+        );
     }
 
     #[test]

@@ -170,7 +170,8 @@ impl BackscatterScene {
 
     /// SNR at a single antenna, dB.
     pub fn snr(&self, tag_at: Point, rx_idx: usize) -> Decibels {
-        self.signal_power(tag_at, rx_idx).ratio_db(self.noise_equivalent)
+        self.signal_power(tag_at, rx_idx)
+            .ratio_db(self.noise_equivalent)
     }
 
     /// SNR with antenna selection diversity: the best antenna's SNR, plus
@@ -291,9 +292,7 @@ mod tests {
         // signal — the reason readers need cancellation at all.
         let s = scene();
         let bg = s.background(0).abs();
-        let tag = s
-            .tag_phasor(Point::new(1.0, 1.0), 0, s.tag.gamma_on)
-            .abs();
+        let tag = s.tag_phasor(Point::new(1.0, 1.0), 0, s.tag.gamma_on).abs();
         assert!(bg > 20.0 * tag, "bg {bg}, tag {tag}");
     }
 }

@@ -22,9 +22,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -134,7 +133,10 @@ pub fn linspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
 /// `n` logarithmically spaced points from `start` to `stop` inclusive
 /// (both must be positive).
 pub fn logspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
-    assert!(start > 0.0 && stop > 0.0, "logspace needs positive endpoints");
+    assert!(
+        start > 0.0 && stop > 0.0,
+        "logspace needs positive endpoints"
+    );
     linspace(start.ln(), stop.ln(), n)
         .into_iter()
         .map(f64::exp)
@@ -274,7 +276,7 @@ mod tests {
     fn trapezoid_integrates_line() {
         // ∫0..1 x dx = 0.5 with exact trapezoid on a linear function.
         let xs = linspace(0.0, 1.0, 101);
-        let ys: Vec<f64> = xs.iter().copied().collect();
+        let ys: Vec<f64> = xs.to_vec();
         assert!((trapezoid(&ys, 0.01) - 0.5).abs() < 1e-12);
     }
 

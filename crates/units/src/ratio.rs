@@ -146,7 +146,8 @@ mod tests {
     fn cascade_gains_add() {
         let chain = Decibels::new(12.0) + Decibels::new(-2.5) + Decibels::new(0.5);
         assert!((chain.db() - 10.0).abs() < 1e-12);
-        let lin = Decibels::new(12.0).linear() * Decibels::new(-2.5).linear()
+        let lin = Decibels::new(12.0).linear()
+            * Decibels::new(-2.5).linear()
             * Decibels::new(0.5).linear();
         assert!((chain.linear() - lin).abs() < 1e-9);
     }

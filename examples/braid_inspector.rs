@@ -64,7 +64,10 @@ fn main() {
 
     // Show how the braid shifts with the battery ratio.
     println!("\nbraid vs battery ratio (TX:RX):");
-    println!("{:>10} {:>9} {:>9} {:>12}", "ratio", "active", "passive", "backscatter");
+    println!(
+        "{:>10} {:>9} {:>9} {:>12}",
+        "ratio", "active", "passive", "backscatter"
+    );
     for ratio in [0.01, 0.1, 0.5, 1.0, 2.0, 10.0, 100.0, 1000.0] {
         let p = solve_at(
             &ch,

@@ -16,7 +16,10 @@ fn main() {
     let glasses = devices::PIVOTHEAD;
     let laptop = devices::MACBOOK_PRO_13;
 
-    println!("== Camera offload: {} -> {} ==\n", glasses.name, laptop.name);
+    println!(
+        "== Camera offload: {} -> {} ==\n",
+        glasses.name, laptop.name
+    );
 
     let outcome = Transfer::between(glasses, laptop)
         .at_distance(Meters::new(0.5))

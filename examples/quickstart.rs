@@ -30,10 +30,7 @@ fn main() {
         100.0 * b.mode_share(Mode::Passive),
         100.0 * b.mode_share(Mode::Backscatter),
     );
-    println!(
-        "energy spent: band {}, laptop {}\n",
-        b.e1_spent, b.e2_spent
-    );
+    println!("energy spent: band {}, laptop {}\n", b.e1_spent, b.e2_spent);
 
     let bt = &outcome.bluetooth;
     println!("-- Bluetooth baseline --");

@@ -27,11 +27,7 @@ fn main() {
     ] {
         let dist = Meters::new(d);
         let regime = Regime::classify(&ch, dist);
-        let rate_label = |mode: Mode| {
-            ch.max_rate(mode, dist)
-                .map(|r| r.label())
-                .unwrap_or("-")
-        };
+        let rate_label = |mode: Mode| ch.max_rate(mode, dist).map(|r| r.label()).unwrap_or("-");
         let opts = options_at(&ch, dist);
         let span = if opts.is_empty() {
             "-".to_string()

@@ -12,7 +12,11 @@ use braidio::driver::{Command, Driver, Event};
 use braidio::prelude::*;
 
 fn hex(bytes: &[u8]) -> String {
-    bytes.iter().map(|b| format!("{b:02x}")).collect::<Vec<_>>().join(" ")
+    bytes
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 fn exchange(driver: &mut Driver, cmd: Command) -> Event {

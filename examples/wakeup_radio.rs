@@ -45,8 +45,11 @@ fn main() {
         "\nan LPL listener only *matches* the passive chain's power at a {} check period —",
         eq
     );
-    println!("at which point its mean wake latency is {} vs the chain's {}.\n",
-        (eq / 2.0), passive.detect_latency);
+    println!(
+        "at which point its mean wake latency is {} vs the chain's {}.\n",
+        (eq / 2.0),
+        passive.detect_latency
+    );
 
     // Standby economics over a watch's day.
     println!("-- a smartwatch day: 24 h standby + 30 min of transfers --");

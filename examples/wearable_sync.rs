@@ -24,10 +24,7 @@ fn main() {
         .run();
 
     println!("-- policy comparison (equal traffic both ways) --");
-    println!(
-        "{:<22} {:>12} {:>14}",
-        "policy", "bits", "lifetime"
-    );
+    println!("{:<22} {:>12} {:>14}", "policy", "bits", "lifetime");
     for (name, report) in [
         ("Braidio", &outcome.braidio),
         ("Bluetooth", &outcome.bluetooth),

@@ -122,8 +122,16 @@ fn simulator_energy_conservation() {
             battery_wh: b,
         };
         let r = Transfer::between(dev_a, dev_b).run().braidio;
-        assert!(r.e1_spent.watt_hours() <= a * (1.0 + 1e-9), "{}", r.e1_spent);
-        assert!(r.e2_spent.watt_hours() <= b * (1.0 + 1e-9), "{}", r.e2_spent);
+        assert!(
+            r.e1_spent.watt_hours() <= a * (1.0 + 1e-9),
+            "{}",
+            r.e1_spent
+        );
+        assert!(
+            r.e2_spent.watt_hours() <= b * (1.0 + 1e-9),
+            "{}",
+            r.e2_spent
+        );
         // At least one side fully drained.
         let frac1 = r.e1_spent.watt_hours() / a;
         let frac2 = r.e2_spent.watt_hours() / b;

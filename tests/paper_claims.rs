@@ -17,7 +17,10 @@ fn headline_dynamic_range() {
     let min = asyms.iter().cloned().fold(f64::MAX, f64::min);
     // Passive corner: TX:RX = 2546:1; backscatter corner: 1:3546.
     assert!((max - 2546.0).abs() / 2546.0 < 0.01, "max asymmetry {max}");
-    assert!((1.0 / min - 3546.0).abs() / 3546.0 < 0.01, "min asymmetry {min}");
+    assert!(
+        (1.0 / min - 3546.0).abs() / 3546.0 < 0.01,
+        "min asymmetry {min}"
+    );
     // Seven orders of magnitude of span.
     let span = max / min;
     assert!(span > 1e6 && span < 1e8, "span {span:.3e}");
@@ -43,9 +46,17 @@ fn headline_power_envelope() {
 #[test]
 fn headline_gain_orders_of_magnitude() {
     let o = Transfer::between(devices::NIKE_FUEL_BAND, devices::MACBOOK_PRO_15).run();
-    assert!(o.gain_over_bluetooth() > 100.0, "{}", o.gain_over_bluetooth());
+    assert!(
+        o.gain_over_bluetooth() > 100.0,
+        "{}",
+        o.gain_over_bluetooth()
+    );
     let o = Transfer::between(devices::MACBOOK_PRO_15, devices::NIKE_FUEL_BAND).run();
-    assert!(o.gain_over_bluetooth() > 100.0, "{}", o.gain_over_bluetooth());
+    assert!(
+        o.gain_over_bluetooth() > 100.0,
+        "{}",
+        o.gain_over_bluetooth()
+    );
 }
 
 /// §6.3: "Even so, Braidio can get 43% performance improvement over a
@@ -65,7 +76,10 @@ fn commercial_reader_comparison() {
     let braidio_range = ch.range(Mode::Backscatter, Rate::Kbps100).unwrap();
     let reader = CommercialReader::as3993();
     let shortfall = 1.0 - braidio_range.meters() / reader.range().meters();
-    assert!((shortfall - 0.4).abs() < 0.02, "range shortfall {shortfall}");
+    assert!(
+        (shortfall - 0.4).abs() < 0.02,
+        "range shortfall {shortfall}"
+    );
     let power_ratio = reader.total_power / Watts::from_milliwatts(129.0);
     assert!((power_ratio - 5.0).abs() < 0.1, "power ratio {power_ratio}");
 }

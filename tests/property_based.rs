@@ -122,9 +122,6 @@ proptest! {
         let mut bits = frame.encode();
         let idx = 32 + (flip_pos % (bits.len() - 32)); // skip preamble
         bits[idx] = !bits[idx];
-        match Frame::decode(&bits, 0) {
-            Ok(decoded) => prop_assert_ne!(decoded, frame),
-            Err(_) => {}
-        }
+        if let Ok(decoded) = Frame::decode(&bits, 0) { prop_assert_ne!(decoded, frame) }
     }
 }
