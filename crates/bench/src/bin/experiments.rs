@@ -6,12 +6,13 @@
 //! experiments list                   # show available experiment ids
 //! experiments fig15 fig16            # a subset
 //! experiments all --jobs 4 --timing  # 4 worker threads, per-experiment timing
+//! experiments all --bench-json t.json# machine-readable timing report
 //! ```
 //!
 //! The full argument list is validated before anything runs: a typo in the
 //! last name no longer wastes the minutes the first names took.
 
-use braidio_bench::ALL;
+use braidio_bench::{ALL, HIDDEN};
 use std::time::Instant;
 
 struct Cli {
@@ -19,6 +20,8 @@ struct Cli {
     runs: Vec<(&'static str, fn())>,
     /// Print a wall-clock timing report per experiment.
     timing: bool,
+    /// Write a machine-readable timing report to this path.
+    bench_json: Option<String>,
     /// Worker-thread override (`--jobs N`), if given.
     jobs: Option<usize>,
 }
@@ -65,6 +68,71 @@ fn main() {
         }
         eprintln!("  {:<12} {total:>8.3} s", "total");
     }
+
+    if let Some(path) = &cli.bench_json {
+        if let Err(e) = std::fs::write(path, bench_json(&timings)) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Render the timing report as JSON (schema 1, stable):
+///
+/// ```json
+/// {
+///   "schema": 1,
+///   "git_sha": "<HEAD sha or \"unknown\">",
+///   "threads": 4,
+///   "experiments": [{"name": "fig1", "seconds": 0.012}, ...],
+///   "total_seconds": 1.234
+/// }
+/// ```
+///
+/// Written by hand (no serde in the workspace); experiment names are
+/// lowercase identifiers, so no JSON string escaping is needed.
+fn bench_json(timings: &[(&str, f64)]) -> String {
+    let total: f64 = timings.iter().map(|(_, s)| s).sum();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"git_sha\": \"{}\",\n", git_sha()));
+    out.push_str(&format!(
+        "  \"threads\": {},\n",
+        braidio::pool::thread_count()
+    ));
+    out.push_str("  \"experiments\": [\n");
+    for (i, (name, s)) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"seconds\": {s:.6}}}{comma}\n"
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"total_seconds\": {total:.6}\n"));
+    out.push_str("}\n");
+    out
+}
+
+/// The current git HEAD commit, or `"unknown"` outside a work tree.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Resolve an experiment id: the public list first, then the hidden ones
+/// (runnable by name, excluded from `all`).
+fn lookup(name: &str) -> Option<(&'static str, fn())> {
+    ALL.iter()
+        .chain(HIDDEN.iter())
+        .find(|(id, _)| *id == name)
+        .copied()
 }
 
 /// Parse and validate the full argument list up front. `Ok(None)` means a
@@ -79,6 +147,7 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
     let mut list = false;
     let mut help = false;
     let mut timing = false;
+    let mut bench_json: Option<String> = None;
     let mut jobs: Option<usize> = None;
 
     let mut it = args.iter();
@@ -88,6 +157,12 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
             "list" => list = true,
             "all" => all = true,
             "--timing" => timing = true,
+            "--bench-json" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs an output path"))?;
+                bench_json = Some(v.clone());
+            }
             "--jobs" | "-j" => {
                 let v = it
                     .next()
@@ -101,7 +176,7 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
                 jobs = Some(n);
             }
             name if name.starts_with('-') => return Err(format!("unknown flag '{name}'")),
-            name => match ALL.iter().find(|(id, _)| *id == name) {
+            name => match lookup(name) {
                 Some((id, _)) => names.push(id),
                 None => return Err(format!("unknown experiment '{name}' — try 'list'")),
             },
@@ -131,14 +206,19 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
     } else {
         names
             .iter()
-            .map(|n| *ALL.iter().find(|(id, _)| id == n).expect("validated"))
+            .map(|n| lookup(n).expect("validated"))
             .collect()
     };
-    Ok(Some(Cli { runs, timing, jobs }))
+    Ok(Some(Cli {
+        runs,
+        timing,
+        bench_json,
+        jobs,
+    }))
 }
 
 fn usage() {
-    eprintln!("usage: experiments <selection> [--jobs N] [--timing]");
+    eprintln!("usage: experiments <selection> [--jobs N] [--timing] [--bench-json PATH]");
     eprintln!();
     eprintln!("selection (validated before anything runs):");
     eprintln!("  all            every experiment, in paper order");
@@ -152,6 +232,9 @@ fn usage() {
     eprintln!("                 (default: BRAIDIO_THREADS or the CPU count;");
     eprintln!("                  results are identical at any thread count)");
     eprintln!("  --timing       per-experiment wall-clock report on stderr");
+    eprintln!("  --bench-json PATH");
+    eprintln!("                 write the timing report as JSON (schema 1:");
+    eprintln!("                  git sha, thread count, per-experiment seconds)");
     eprintln!();
     eprintln!("Regenerates the tables and figures of the Braidio paper (SIGCOMM'16)");
     eprintln!("from the simulation models in this workspace. See EXPERIMENTS.md for");

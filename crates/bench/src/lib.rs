@@ -31,6 +31,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig9;
 pub mod lifetime;
+pub mod mcber;
 pub mod render;
 pub mod table1;
 pub mod table2;
@@ -62,3 +63,8 @@ pub const ALL: &[(&str, fn())] = &[
     ("coexistence", coexistence::run),
     ("lifetime", lifetime::run),
 ];
+
+/// Hidden experiments: runnable by name but excluded from `all`, so the
+/// default output stays byte-stable while CI and developers can still
+/// reach them (e.g. the `mcber` low-bitrate regression probe).
+pub const HIDDEN: &[(&str, fn())] = &[("mcber", mcber::run)];

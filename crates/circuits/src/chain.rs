@@ -16,6 +16,7 @@ use crate::charge_pump::DicksonChargePump;
 use crate::comparator::Comparator;
 use crate::envelope::EnvelopeDetector;
 use crate::filter::HighPass;
+use crate::streaming::StreamingChain;
 use crate::switch::AntennaSwitch;
 use braidio_units::{Hertz, Seconds, Watts};
 
@@ -123,21 +124,25 @@ impl PassiveReceiverChain {
         Watts::new(p_watts).dbm()
     }
 
+    /// Per-sample streaming form of the chain for samples spaced `dt`
+    /// apart: boost → pump → detector → high-pass → amp → comparator as one
+    /// `push(sample) -> bool` state machine with no per-sample allocation.
+    pub fn streaming(&self, dt: Seconds) -> StreamingChain {
+        StreamingChain::new(self, dt)
+    }
+
     /// Run the full sample pipeline: antenna-referred envelope samples →
     /// sliced bits at the comparator output.
+    ///
+    /// Thin batch wrapper over [`PassiveReceiverChain::streaming`], kept
+    /// for API compatibility: it allocates exactly one output vector (the
+    /// sliced bits) and is bit-identical to pushing each sample through
+    /// [`StreamingChain::push`] yourself. Hot paths that only need a few
+    /// decision instants (e.g. the Monte-Carlo BER sampler) should use the
+    /// streaming form directly and skip this vector too.
     pub fn demodulate(&self, envelope: &[f64], dt: Seconds) -> Vec<bool> {
-        // Matching boost + static pump nonlinearity per sample.
-        let pumped: Vec<f64> = envelope
-            .iter()
-            .map(|&v| self.pump.small_signal_output(v * self.matching_gain))
-            .collect();
-        // Detector dynamics (finite attack/decay).
-        let followed = self.detector.run(&pumped, dt);
-        // DC / self-interference rejection.
-        let hp = self.highpass.run(&followed, dt);
-        // Amplify and slice around zero (the high-pass centres the signal).
-        let amped = self.amplifier.run(&hp);
-        self.comparator.with_threshold(0.0).run(&amped)
+        let mut chain = self.streaming(dt);
+        envelope.iter().map(|&v| chain.push(v)).collect()
     }
 }
 

@@ -39,28 +39,68 @@ impl Comparator {
         Comparator { threshold, ..self }
     }
 
+    /// Streaming slicer state: latched output plus the hysteresis band.
+    ///
+    /// [`run`] is a thin batch wrapper over the returned state, so the two
+    /// paths share one decision rule and are bit-identical.
+    ///
+    /// [`run`]: Comparator::run
+    pub fn slicer(&self) -> SlicerState {
+        SlicerState {
+            rise: self.threshold + self.hysteresis,
+            fall: self.threshold - self.hysteresis,
+            state: false,
+        }
+    }
+
     /// Slice a sample stream into booleans, applying hysteresis.
+    ///
+    /// Batch wrapper over [`Comparator::slicer`]; allocates only the
+    /// output vector.
     pub fn run(&self, samples: &[f64]) -> Vec<bool> {
-        let mut state = false;
-        samples
-            .iter()
-            .map(|&x| {
-                if state {
-                    if x < self.threshold - self.hysteresis {
-                        state = false;
-                    }
-                } else if x > self.threshold + self.hysteresis {
-                    state = true;
-                }
-                state
-            })
-            .collect()
+        let mut slicer = self.slicer();
+        samples.iter().map(|&x| slicer.push(x)).collect()
     }
 
     /// Would a signal with the given peak-to-peak swing be resolvable at
     /// all?
     pub fn resolves(&self, swing: f64) -> bool {
         swing >= self.min_swing
+    }
+}
+
+/// O(1) streaming state of the hysteresis slicer: the latched output and
+/// the precomputed rise/fall crossing levels.
+///
+/// Obtained from [`Comparator::slicer`]; one [`push`] per sample. This is
+/// the decision stage of the fused demodulation pipeline
+/// ([`crate::streaming::StreamingChain`]).
+///
+/// [`push`]: SlicerState::push
+#[derive(Debug, Clone, Copy)]
+pub struct SlicerState {
+    rise: f64,
+    fall: f64,
+    state: bool,
+}
+
+impl SlicerState {
+    /// Advance the slicer by one sample and return its latched output.
+    #[inline]
+    pub fn push(&mut self, x: f64) -> bool {
+        if self.state {
+            if x < self.fall {
+                self.state = false;
+            }
+        } else if x > self.rise {
+            self.state = true;
+        }
+        self.state
+    }
+
+    /// The slicer's current latched output.
+    pub fn output(&self) -> bool {
+        self.state
     }
 }
 

@@ -43,25 +43,64 @@ impl EnvelopeDetector {
         EnvelopeDetector::new(Seconds::from_micros(0.08), Seconds::from_micros(0.8))
     }
 
+    /// Streaming follower state for samples spaced `dt` apart.
+    ///
+    /// The per-sample coefficients are resolved once here; [`run`] is a
+    /// thin batch wrapper over the returned state, so the two paths share
+    /// one arithmetic definition and are bit-identical.
+    ///
+    /// [`run`]: EnvelopeDetector::run
+    pub fn follower(&self, dt: Seconds) -> FollowerState {
+        FollowerState {
+            a_up: 1.0 - (-dt.seconds() / self.attack.seconds()).exp(),
+            a_dn: 1.0 - (-dt.seconds() / self.decay.seconds()).exp(),
+            y: 0.0,
+        }
+    }
+
     /// Run the follower over envelope samples spaced `dt` apart.
+    ///
+    /// Batch wrapper over [`EnvelopeDetector::follower`]; allocates only
+    /// the output vector.
     pub fn run(&self, samples: &[f64], dt: Seconds) -> Vec<f64> {
-        let a_up = 1.0 - (-dt.seconds() / self.attack.seconds()).exp();
-        let a_dn = 1.0 - (-dt.seconds() / self.decay.seconds()).exp();
-        let mut y = 0.0f64;
-        samples
-            .iter()
-            .map(|&x| {
-                let alpha = if x > y { a_up } else { a_dn };
-                y += alpha * (x - y);
-                y
-            })
-            .collect()
+        let mut state = self.follower(dt);
+        samples.iter().map(|&x| state.push(x)).collect()
     }
 
     /// Approximate -3 dB envelope bandwidth in hertz, limited by the slower
     /// (decay) time constant.
     pub fn bandwidth_hz(&self) -> f64 {
         1.0 / (2.0 * core::f64::consts::PI * self.decay.seconds())
+    }
+}
+
+/// O(1) streaming state of an attack/decay follower: the current capacitor
+/// voltage plus the two precomputed per-sample blend coefficients.
+///
+/// Obtained from [`EnvelopeDetector::follower`]; one [`push`] per envelope
+/// sample. This is the follower stage of the fused demodulation pipeline
+/// ([`crate::streaming::StreamingChain`]).
+///
+/// [`push`]: FollowerState::push
+#[derive(Debug, Clone, Copy)]
+pub struct FollowerState {
+    a_up: f64,
+    a_dn: f64,
+    y: f64,
+}
+
+impl FollowerState {
+    /// Advance the follower by one sample and return its output.
+    #[inline]
+    pub fn push(&mut self, x: f64) -> f64 {
+        let alpha = if x > self.y { self.a_up } else { self.a_dn };
+        self.y += alpha * (x - self.y);
+        self.y
+    }
+
+    /// The follower's current output (capacitor voltage).
+    pub fn output(&self) -> f64 {
+        self.y
     }
 }
 

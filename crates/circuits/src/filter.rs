@@ -38,26 +38,62 @@ impl HighPass {
         self.cutoff
     }
 
-    /// Filter a sample sequence spaced `dt` apart.
-    pub fn run(&self, samples: &[f64], dt: Seconds) -> Vec<f64> {
+    /// Streaming filter state for samples spaced `dt` apart.
+    ///
+    /// [`run`] is a thin batch wrapper over the returned state, so the two
+    /// paths share one arithmetic definition and are bit-identical. The
+    /// state seeds its previous-input memory from the first pushed sample,
+    /// matching the batch initialization (first output is exactly zero).
+    ///
+    /// [`run`]: HighPass::run
+    pub fn stream(&self, dt: Seconds) -> HighPassState {
         let rc = 1.0 / (2.0 * core::f64::consts::PI * self.cutoff.hz());
-        let alpha = rc / (rc + dt.seconds());
-        let mut y = 0.0f64;
-        let mut x_prev = samples.first().copied().unwrap_or(0.0);
-        samples
-            .iter()
-            .map(|&x| {
-                y = alpha * (y + x - x_prev);
-                x_prev = x;
-                y
-            })
-            .collect()
+        HighPassState {
+            alpha: rc / (rc + dt.seconds()),
+            y: 0.0,
+            x_prev: None,
+        }
+    }
+
+    /// Filter a sample sequence spaced `dt` apart.
+    ///
+    /// Batch wrapper over [`HighPass::stream`]; allocates only the output
+    /// vector.
+    pub fn run(&self, samples: &[f64], dt: Seconds) -> Vec<f64> {
+        let mut state = self.stream(dt);
+        samples.iter().map(|&x| state.push(x)).collect()
     }
 
     /// Magnitude response at frequency `f` (linear, 0..1).
     pub fn magnitude_at(&self, f: Hertz) -> f64 {
         let r = f / self.cutoff;
         r / (1.0 + r * r).sqrt()
+    }
+}
+
+/// O(1) streaming state of a single-pole high-pass: the previous input,
+/// the current output, and the precomputed pole coefficient.
+///
+/// Obtained from [`HighPass::stream`]; one [`push`] per sample. This is
+/// the DC-rejection stage of the fused demodulation pipeline
+/// ([`crate::streaming::StreamingChain`]).
+///
+/// [`push`]: HighPassState::push
+#[derive(Debug, Clone, Copy)]
+pub struct HighPassState {
+    alpha: f64,
+    y: f64,
+    x_prev: Option<f64>,
+}
+
+impl HighPassState {
+    /// Advance the filter by one sample and return its output.
+    #[inline]
+    pub fn push(&mut self, x: f64) -> f64 {
+        let x_prev = self.x_prev.unwrap_or(x);
+        self.y = self.alpha * (self.y + x - x_prev);
+        self.x_prev = Some(x);
+        self.y
     }
 }
 

@@ -29,6 +29,8 @@
 //!   125 mW that carrier offload moves between endpoints).
 //! * [`mcu`] — the ATMEGA328P-class controller power model.
 //! * [`chain`] — the assembled passive receive chain with its power budget.
+//! * [`streaming`] — the same chain fused into a per-sample, O(1)-state
+//!   streaming pipeline (the Monte-Carlo hot path).
 
 #![warn(missing_docs)]
 
@@ -42,8 +44,10 @@ pub mod envelope;
 pub mod filter;
 pub mod harvester;
 pub mod mcu;
+pub mod streaming;
 pub mod switch;
 
 pub use chain::PassiveReceiverChain;
 pub use charge_pump::DicksonChargePump;
 pub use diode::Diode;
+pub use streaming::StreamingChain;

@@ -9,7 +9,7 @@ use braidio_circuits::envelope::EnvelopeDetector;
 use braidio_circuits::filter::{HighPass, LowPass};
 use braidio_circuits::mcu::{Mcu, McuState};
 use braidio_circuits::PassiveReceiverChain;
-use braidio_units::{Hertz, Seconds, Watts};
+use braidio_units::{Decibels, Hertz, Seconds, Watts};
 use proptest::prelude::*;
 
 proptest! {
@@ -105,5 +105,52 @@ proptest! {
     fn chain_power_independent_of_signal(_v in 0.0f64..1.0) {
         let chain = PassiveReceiverChain::braidio();
         prop_assert!(chain.quiescent_power() < Watts::from_microwatts(50.0));
+    }
+
+    /// The fused streaming pipeline must be bit-for-bit identical to the
+    /// stage-major batch composition (one full vector per stage — the
+    /// pre-fusion shape of `demodulate`) for arbitrary chain tunings,
+    /// sample intervals and waveforms.
+    #[test]
+    fn streaming_demodulation_matches_stage_major_batch(
+        attack_us in 0.05f64..0.5,
+        decay_mult in 2.0f64..20.0,
+        cutoff_khz in 0.2f64..5.0,
+        gain_db in 0.0f64..60.0,
+        hysteresis in 0.0f64..0.01,
+        stages in 1usize..4,
+        matching in 1.0f64..5.0,
+        dt_us in 0.02f64..0.5,
+        env in proptest::collection::vec(0.0f64..0.3, 16..400),
+    ) {
+        let mut chain = PassiveReceiverChain::braidio();
+        chain.pump = DicksonChargePump::multi_stage(stages);
+        chain.detector = EnvelopeDetector::new(
+            Seconds::from_micros(attack_us),
+            Seconds::from_micros(attack_us * decay_mult),
+        );
+        chain.highpass = HighPass::new(Hertz::from_khz(cutoff_khz));
+        chain.amplifier.gain = Decibels::new(gain_db);
+        chain.comparator.hysteresis = hysteresis;
+        chain.matching_gain = matching;
+        let dt = Seconds::from_micros(dt_us);
+
+        // Stage-major reference: each stage consumes its predecessor's
+        // full output vector.
+        let pumped: Vec<f64> = env
+            .iter()
+            .map(|&v| chain.pump.small_signal_output(v * chain.matching_gain))
+            .collect();
+        let followed = chain.detector.run(&pumped, dt);
+        let hp = chain.highpass.run(&followed, dt);
+        let amped = chain.amplifier.run(&hp);
+        let reference = chain.comparator.with_threshold(0.0).run(&amped);
+
+        // The wrapper and a manual per-sample streaming fold both match.
+        prop_assert_eq!(&chain.demodulate(&env, dt), &reference);
+        let mut s = chain.streaming(dt);
+        for (i, &v) in env.iter().enumerate() {
+            prop_assert_eq!(s.push(v), reference[i], "sample {}", i);
+        }
     }
 }

@@ -21,15 +21,20 @@ pub struct Criterion {
     filter: Option<String>,
     /// Target measurement time per benchmark.
     measurement: Duration,
+    /// Smoke-test mode (`--test`, as passed by `cargo bench -- --test` and
+    /// real criterion): run every routine exactly once, skip measurement.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // cargo bench passes `--bench` plus any user filter strings.
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let test_mode = std::env::args().skip(1).any(|a| a == "--test");
         Criterion {
             filter,
             measurement: Duration::from_millis(300),
+            test_mode,
         }
     }
 }
@@ -45,9 +50,14 @@ impl Criterion {
         let mut b = Bencher {
             samples: Vec::new(),
             measurement: self.measurement,
+            test_mode: self.test_mode,
         };
         f(&mut b);
-        b.report(name);
+        if self.test_mode {
+            println!("{name:<40} ok (test mode: 1 iteration)");
+        } else {
+            b.report(name);
+        }
         self
     }
 }
@@ -56,11 +66,17 @@ impl Criterion {
 pub struct Bencher {
     samples: Vec<f64>,
     measurement: Duration,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Time `routine`, repeating it until the measurement budget is spent.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            // Smoke mode: prove the routine runs without panicking, once.
+            black_box(routine());
+            return;
+        }
         // Warm-up and batch-size calibration: grow the batch until one
         // batch takes ≥ ~1 ms, so timer overhead stays < 0.1%.
         let mut batch = 1usize;
@@ -75,14 +91,21 @@ impl Bencher {
             }
             batch *= 2;
         }
-        // Measurement: collect per-batch samples.
+        // Measurement: collect per-batch samples. Slow routines (a single
+        // iteration blowing far past the whole measurement budget) settle
+        // for three samples, like real criterion's reduced sample counts.
         let deadline = Instant::now() + self.measurement;
-        while Instant::now() < deadline || self.samples.len() < 5 {
+        let mut min_samples = 5usize;
+        while Instant::now() < deadline || self.samples.len() < min_samples {
             let t = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
             }
-            self.samples.push(t.elapsed().as_secs_f64() / batch as f64);
+            let elapsed = t.elapsed();
+            self.samples.push(elapsed.as_secs_f64() / batch as f64);
+            if elapsed > 10 * self.measurement {
+                min_samples = 3;
+            }
             if self.samples.len() >= 200 {
                 break;
             }
@@ -151,6 +174,7 @@ mod tests {
         let mut c = Criterion {
             filter: None,
             measurement: Duration::from_millis(5),
+            test_mode: false,
         };
         let mut ran = false;
         c.bench_function("smoke", |b| {
@@ -165,6 +189,7 @@ mod tests {
         let mut c = Criterion {
             filter: Some("zzz".into()),
             measurement: Duration::from_millis(5),
+            test_mode: false,
         };
         let mut ran = false;
         c.bench_function("smoke", |b| {
@@ -172,6 +197,20 @@ mod tests {
             b.iter(|| ());
         });
         assert!(!ran);
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_exactly_once() {
+        let mut c = Criterion {
+            filter: None,
+            measurement: Duration::from_millis(5),
+            test_mode: true,
+        };
+        let mut count = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| count += 1);
+        });
+        assert_eq!(count, 1);
     }
 
     #[test]

@@ -434,6 +434,29 @@ mod tests {
     }
 
     #[test]
+    fn epoch_loop_populates_the_shared_ber_surface() {
+        // The epoch loop reaches BER through `Characterization::ber`,
+        // which answers from the process-shared strict surfaces — so a
+        // transfer must leave solved SNR points behind, and a repeat run
+        // (answered from the memo) must produce identical results.
+        use braidio_phy::surface::{shared, BerModel};
+        use braidio_units::BitsPerSecond;
+        let setup = TransferSetup::new(1.0, 1.0, Policy::Braidio);
+        let first = simulate_transfer(&setup);
+        let ook = shared(BerModel::NoncoherentOok, BitsPerSecond::KBPS_100);
+        assert!(
+            ook.memoized() > 0,
+            "the epoch loop should have solved OOK BER points"
+        );
+        let again = simulate_transfer(&setup);
+        assert_eq!(first.bits.to_bits(), again.bits.to_bits());
+        assert_eq!(
+            first.duration.seconds().to_bits(),
+            again.duration.seconds().to_bits()
+        );
+    }
+
+    #[test]
     fn asymmetric_gains_grow_to_hundreds() {
         // Fuel Band (0.26 Wh) <-> MacBook Pro 15 (99.5 Wh): the paper's
         // corners are 299x/397x; the model must land in the same decade.

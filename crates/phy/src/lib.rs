@@ -16,8 +16,15 @@
 //!   oversampled comparator stream.
 //! * [`fec`] — Hamming(7,4) + block interleaving for the lossy regime
 //!   edges (the coding direction of the related work the paper cites).
+//! * [`noise`] — streaming additive Gaussian envelope corruption with a
+//!   fixed RNG draw-order contract.
 //! * [`montecarlo`] — end-to-end Monte-Carlo BER through the
-//!   `braidio-circuits` receive chain, used to validate the closed forms.
+//!   `braidio-circuits` receive chain, used to validate the closed forms;
+//!   fused with [`noise`] and the streaming chain into a zero-allocation
+//!   per-sample loop.
+//! * [`surface`] — lazily evaluated BER response surfaces: memoized
+//!   exact solves plus optional monotone interpolation over an SNR grid,
+//!   shared process-wide by the figure and MAC paths.
 //! * [`backscatter_link`] — the full waveform path: frame → line code →
 //!   tag switching → phasor channel with self-interference → chain → clock
 //!   recovery → decode, including frame-level antenna diversity.
@@ -32,7 +39,9 @@ pub mod fec;
 pub mod frame;
 pub mod modulation;
 pub mod montecarlo;
+pub mod noise;
 pub mod pie;
+pub mod surface;
 pub mod sync;
 
 pub use ber::{ber_coherent, ber_ook_noncoherent};

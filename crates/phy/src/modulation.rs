@@ -49,13 +49,32 @@ impl OokModulator {
         }
     }
 
+    /// The envelope level of one bit.
+    #[inline]
+    pub fn level(&self, bit: bool) -> f64 {
+        if bit {
+            self.high
+        } else {
+            self.low
+        }
+    }
+
+    /// The envelope waveform for a bit sequence as a lazy per-sample
+    /// iterator — the streaming form of [`OokModulator::modulate`], used by
+    /// the fused Monte-Carlo pipeline so no waveform vector is ever held.
+    pub fn samples<'a>(&self, bits: &'a [bool]) -> impl Iterator<Item = f64> + 'a {
+        let m = *self;
+        bits.iter()
+            .flat_map(move |&b| std::iter::repeat_n(m.level(b), m.samples_per_bit))
+    }
+
     /// Generate the envelope waveform for a bit sequence.
+    ///
+    /// Batch wrapper over [`OokModulator::samples`]; allocates the one
+    /// output vector.
     pub fn modulate(&self, bits: &[bool]) -> Vec<f64> {
         let mut out = Vec::with_capacity(bits.len() * self.samples_per_bit);
-        for &b in bits {
-            let level = if b { self.high } else { self.low };
-            out.extend(std::iter::repeat_n(level, self.samples_per_bit));
-        }
+        out.extend(self.samples(bits));
         out
     }
 
@@ -111,6 +130,15 @@ mod tests {
         let m = OokModulator::new(4, 1.0, 0.1);
         let w = m.modulate(&[true, false]);
         assert_eq!(w, vec![1.0, 1.0, 1.0, 1.0, 0.1, 0.1, 0.1, 0.1]);
+    }
+
+    #[test]
+    fn samples_iterator_matches_modulate() {
+        let m = OokModulator::new(7, 0.05, 0.003);
+        let bits = [true, false, false, true, true, false, true];
+        let streamed: Vec<f64> = m.samples(&bits).collect();
+        assert_eq!(streamed, m.modulate(&bits));
+        assert_eq!(streamed.len(), bits.len() * m.samples_per_bit);
     }
 
     #[test]

@@ -8,6 +8,19 @@
 //! forms and exposes the chain's real-world penalties (ISI at high
 //! bitrates, settling, hysteresis).
 //!
+//! ## Fused streaming evaluation
+//!
+//! A chunk is evaluated as one fused per-sample loop: the OOK level, the
+//! additive Gaussian corruption ([`crate::noise`]) and all five receive
+//! stages ([`braidio_circuits::StreamingChain`]) touch each sample exactly
+//! once, and only the per-bit decision instants are retained. No waveform
+//! or stage vector is ever materialized — a chunk's heap footprint is the
+//! bit vector alone, O(1) allocations regardless of samples-per-bit
+//! (asserted by the counting-allocator test below). The RNG draw order
+//! (all data bits first, then two uniforms per sample) and every
+//! arithmetic operation match the original batch pipeline, so estimates
+//! are bit-identical to it.
+//!
 //! ## Chunked bit stream
 //!
 //! A run is split into independent bursts of at most [`CHUNK_BITS`] data
@@ -23,6 +36,7 @@
 //! estimator targets the same steady-state BER.
 
 use crate::modulation::OokModulator;
+use crate::noise::GaussianEnvelopeNoise;
 use braidio_circuits::PassiveReceiverChain;
 use braidio_pool as pool;
 use braidio_units::{BitsPerSecond, Seconds};
@@ -93,6 +107,13 @@ impl MonteCarloBer {
     /// slower bitrates then differ only through settling and ISI, as in
     /// hardware, not through an artificial noise-bandwidth change.
     pub fn at_snr_db(snr_db: f64, rate: BitsPerSecond, bits: usize, seed: u64) -> Self {
+        Self::at_snr(10f64.powf(snr_db / 10.0), rate, bits, seed)
+    }
+
+    /// As [`MonteCarloBer::at_snr_db`] but taking the SNR as a linear power
+    /// ratio `gamma` directly, avoiding a dB round-trip for callers (the
+    /// BER response surface) that already hold the linear value.
+    pub fn at_snr(gamma: f64, rate: BitsPerSecond, bits: usize, seed: u64) -> Self {
         let high = 0.05f64; // comfortably above chain sensitivity
         let chain = PassiveReceiverChain::braidio();
         let sample_rate = 20e6f64;
@@ -109,7 +130,7 @@ impl MonteCarloBer {
         let tau_eff = (chain.detector.attack.seconds() * chain.detector.decay.seconds()).sqrt();
         let detector_bw = 1.0 / (4.0 * tau_eff);
         let nyquist = sample_rate / 2.0;
-        let noise_in_band = (high * high / 2.0 / 10f64.powf(snr_db / 10.0)).sqrt();
+        let noise_in_band = (high * high / 2.0 / gamma).sqrt();
         let noise_rms = noise_in_band * (nyquist / detector_bw).sqrt();
         MonteCarloBer {
             chain,
@@ -141,7 +162,13 @@ impl MonteCarloBer {
 
     /// One independent burst of `nbits` data bits behind a fresh training
     /// preamble, with its own RNG stream.
-    fn run_chunk(&self, nbits: usize, seed: u64) -> BerEstimate {
+    ///
+    /// This is the fused hot loop: modulation level, Gaussian corruption
+    /// and the five-stage streaming chain run per sample, retaining only
+    /// each bit's decision instant. Public so the allocator and equality
+    /// tests can exercise a single chunk directly; everything else should
+    /// go through [`MonteCarloBer::run`].
+    pub fn run_chunk(&self, nbits: usize, seed: u64) -> BerEstimate {
         let mut rng = StdRng::seed_from_u64(seed);
         // Leading training bits let the high-pass and comparator settle and
         // are excluded from the count (they play the preamble's role).
@@ -158,22 +185,26 @@ impl MonteCarloBer {
             // OokModulator requires high > low; allow a zero low level.
             self.envelope_low
         });
-        let mut envelope = modulator.modulate(&bits);
-        for s in envelope.iter_mut() {
-            // Additive envelope noise, clamped physical (envelope >= 0).
-            let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
-            let u2: f64 = rng.random_range(0.0..1.0);
-            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
-            *s = (*s + self.noise_rms * z).max(0.0);
-        }
-
         let dt = modulator.sample_interval(self.rate);
-        let sliced = self.chain.demodulate(&envelope, dt);
+        // The RNG moves to the noise source after the bit draws, keeping
+        // the chunk's overall draw order identical to the batch pipeline.
+        let mut noise = GaussianEnvelopeNoise::new(rng, self.noise_rms);
+        let mut chain = self.chain.streaming(dt);
+        // Where within a bit the settled envelope is sampled, matching
+        // `modulator.decision_index(i) - i * samples_per_bit`.
+        let decision_offset = (3 * self.samples_per_bit) / 4;
 
         let mut errors = 0usize;
-        for (i, &bit) in bits.iter().enumerate().skip(training) {
-            let decided = sliced[modulator.decision_index(i)];
-            if decided != bit {
+        for (i, &bit) in bits.iter().enumerate() {
+            let level = modulator.level(bit);
+            let mut decided = false;
+            for s in 0..self.samples_per_bit {
+                let out = chain.push(noise.corrupt(level));
+                if s == decision_offset {
+                    decided = out;
+                }
+            }
+            if i >= training && decided != bit {
                 errors += 1;
             }
         }
@@ -186,6 +217,48 @@ impl MonteCarloBer {
     /// The sample interval used by the run.
     pub fn sample_interval(&self) -> Seconds {
         Seconds::new(1.0 / (self.rate.bps() * self.samples_per_bit as f64))
+    }
+}
+
+/// A counting wrapper around the system allocator, installed only in the
+/// crate's test binary so the zero-allocation claim about the fused chunk
+/// loop is *asserted*, not just documented. The counter is thread-local
+/// (const-initialized, so reading it never allocates) to keep concurrently
+/// running tests from polluting each other's counts.
+#[cfg(test)]
+mod test_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    struct CountingAllocator;
+
+    // SAFETY: delegates all allocation to `System`; only bookkeeping added.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.with(|c| c.set(c.get() + 1));
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.with(|c| c.set(c.get() + 1));
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: CountingAllocator = CountingAllocator;
+
+    /// Heap allocations performed by the current thread so far.
+    pub fn current() -> u64 {
+        ALLOCATIONS.with(|c| c.get())
     }
 }
 
@@ -253,6 +326,27 @@ mod tests {
             assert_eq!(serial.errors, par.errors, "threads={n}");
             assert_eq!(serial.bits, par.bits, "threads={n}");
         }
+    }
+
+    #[test]
+    fn chunk_performs_o1_heap_allocations() {
+        // 1 kbps puts 20 000 samples in every bit — the regime where the
+        // pre-fusion pipeline allocated five full-length stage vectors
+        // (hundreds of MB per chunk). The fused loop must stay at O(1)
+        // allocations (the bit vector) no matter how many samples it
+        // touches.
+        let mc = MonteCarloBer::at_snr_db(6.0, BitsPerSecond::new(1_000.0), 64, 3);
+        assert_eq!(mc.samples_per_bit, 20_000);
+        // Warm up any lazily initialized paths before counting.
+        let _ = mc.run_chunk(4, chunk_seed(3, 0));
+        let before = super::test_alloc::current();
+        let est = mc.run_chunk(64, chunk_seed(3, 0));
+        let allocations = super::test_alloc::current() - before;
+        assert_eq!(est.bits, 64);
+        assert!(
+            allocations <= 8,
+            "fused chunk should allocate O(1) times over 1.6M samples, did {allocations}"
+        );
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Inline additive Gaussian envelope noise.
+//!
+//! The Monte-Carlo demodulator used to materialize the whole envelope
+//! waveform and then corrupt it in a second pass. This source produces the
+//! same corrupted samples one at a time, so the fused pipeline in
+//! [`crate::montecarlo`] never holds a waveform vector at all.
+//!
+//! ## RNG draw-order contract
+//!
+//! [`corrupt`] consumes **exactly two** uniform draws per sample, in the
+//! order `u1 ∈ [MIN_POSITIVE, 1)` then `u2 ∈ [0, 1)`, and combines them
+//! with the cosine branch of the Box-Muller transform. This is precisely
+//! the sequence the original batch noise loop performed per envelope
+//! sample, so a run seeded the same way produces bit-identical corrupted
+//! samples whether the waveform is materialized or streamed.
+//!
+//! [`corrupt`]: GaussianEnvelopeNoise::corrupt
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A streaming additive-Gaussian corruption source for envelope samples.
+///
+/// Owns its RNG (handed over after any bit-stream draws, preserving the
+/// overall draw order of a chunk) and clamps outputs physical
+/// (envelope ≥ 0).
+#[derive(Debug, Clone)]
+pub struct GaussianEnvelopeNoise {
+    rng: StdRng,
+    rms: f64,
+}
+
+impl GaussianEnvelopeNoise {
+    /// A noise source drawing from `rng` with the given RMS amplitude.
+    pub fn new(rng: StdRng, rms: f64) -> Self {
+        GaussianEnvelopeNoise { rng, rms }
+    }
+
+    /// Corrupt one clean envelope `level`: add one Gaussian variate scaled
+    /// by the RMS, clamped to the physical (non-negative) range.
+    #[inline]
+    pub fn corrupt(&mut self, level: f64) -> f64 {
+        let u1: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.random_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+        (level + self.rms * z).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_the_batch_noise_loop() {
+        // The exact per-sample sequence the seed's batch loop performed.
+        let rms = 0.01;
+        let levels = [0.05, 0.0, 0.05, 0.05, 0.0, 0.0, 0.05];
+        let mut rng = StdRng::seed_from_u64(42);
+        let batch: Vec<f64> = levels
+            .iter()
+            .map(|&s| {
+                let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.random_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+                (s + rms * z).max(0.0)
+            })
+            .collect();
+        let mut noise = GaussianEnvelopeNoise::new(StdRng::seed_from_u64(42), rms);
+        for (i, &level) in levels.iter().enumerate() {
+            let streamed = noise.corrupt(level);
+            assert_eq!(streamed.to_bits(), batch[i].to_bits(), "sample {i}");
+        }
+    }
+
+    #[test]
+    fn outputs_stay_physical() {
+        let mut noise = GaussianEnvelopeNoise::new(StdRng::seed_from_u64(7), 10.0);
+        for _ in 0..10_000 {
+            assert!(noise.corrupt(0.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_rms_is_transparent_up_to_clamp() {
+        let mut noise = GaussianEnvelopeNoise::new(StdRng::seed_from_u64(1), 0.0);
+        for &level in &[0.0, 0.01, 0.05, 1.0] {
+            assert_eq!(noise.corrupt(level), level);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Lazily evaluated BER response surfaces.
+//!
+//! The figure generators, the link validation and the MAC epoch simulator
+//! all keep asking the same question — "what is the BER of mode *m* at
+//! bitrate *r* and SNR *γ*?" — thousands of times, often at exactly the
+//! same γ. A [`BerSurface`] wraps one underlying evaluator (a closed form
+//! or a Monte-Carlo run) and answers from a memo table, solving each point
+//! at most once per process.
+//!
+//! Two operating modes, selected by [`SurfaceConfig::rel_tol`]:
+//!
+//! * **Strict** (`rel_tol == 0.0`, the default used by the figure paths):
+//!   every distinct γ is exact-solved once and memoized by its bit
+//!   pattern. Returned values are *identical* to calling the evaluator
+//!   directly, so figure output stays byte-for-byte unchanged — the
+//!   surface only removes repeated work.
+//! * **Interpolating** (`rel_tol > 0.0`): γ is bracketed on a log-spaced
+//!   grid (`exp(k·ln_gamma_step)`). The node, half-node and next node are
+//!   exact-solved (memoized), and the query is answered by piecewise
+//!   log-log-linear interpolation through the three points — monotone
+//!   between solved nodes by construction. The interpolation error is
+//!   bounded before use: the defect of the coarse secant at the half node
+//!   measures the local curvature, and for a smooth BER curve the refined
+//!   (half-step) interpolant's error is about a quarter of that defect.
+//!   If the defect exceeds `rel_tol` (in log space ≈ relative error), the
+//!   surface falls back to an exact solve of the query point itself, so
+//!   an answer is never worse than `rel_tol` relative error.
+//!
+//! Either way, a surface's answer is a pure function of
+//! (γ, config, evaluator): node placement depends only on γ, never on
+//! query order or thread interleaving, so results are deterministic at any
+//! thread count. [`shared`] hands out process-wide strict surfaces keyed
+//! by ([`BerModel`], bitrate), which is what
+//! `braidio-radio::Characterization` and the MAC simulator query.
+
+use braidio_units::BitsPerSecond;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// Configuration of a [`BerSurface`].
+#[derive(Debug, Clone, Copy)]
+pub struct SurfaceConfig {
+    /// Grid pitch in ln(γ). 1 dB is `ln(10)/10 ≈ 0.2303`.
+    pub ln_gamma_step: f64,
+    /// Accepted relative interpolation error. `0.0` disables interpolation
+    /// entirely: every distinct γ is exact-solved (and memoized).
+    pub rel_tol: f64,
+    /// Memo-table size cap; the table is cleared when it would exceed this
+    /// (same policy as the MAC planner's solve memo).
+    pub max_memo: usize,
+}
+
+impl SurfaceConfig {
+    /// Strict mode: exact solves only, memoized. This is what the figure
+    /// paths use — byte-identical output to direct evaluation.
+    pub fn strict() -> Self {
+        SurfaceConfig {
+            ln_gamma_step: core::f64::consts::LN_10 / 10.0,
+            rel_tol: 0.0,
+            max_memo: 4096,
+        }
+    }
+
+    /// Interpolating mode with a 1 dB grid and the given relative error
+    /// tolerance.
+    pub fn interpolating(rel_tol: f64) -> Self {
+        assert!(rel_tol > 0.0, "use strict() for exact evaluation");
+        SurfaceConfig {
+            rel_tol,
+            ..SurfaceConfig::strict()
+        }
+    }
+}
+
+/// A memoizing, optionally interpolating BER-vs-SNR response surface.
+///
+/// See the module docs for the evaluation rules and determinism argument.
+pub struct BerSurface {
+    eval: Box<dyn Fn(f64) -> f64 + Send + Sync>,
+    config: SurfaceConfig,
+    memo: Mutex<HashMap<u64, f64>>,
+}
+
+impl core::fmt::Debug for BerSurface {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BerSurface")
+            .field("config", &self.config)
+            .field("memoized", &self.memo.lock().unwrap().len())
+            .finish()
+    }
+}
+
+impl BerSurface {
+    /// A surface over `eval` with the given configuration.
+    pub fn new(eval: Box<dyn Fn(f64) -> f64 + Send + Sync>, config: SurfaceConfig) -> Self {
+        assert!(config.ln_gamma_step > 0.0);
+        assert!(config.rel_tol >= 0.0);
+        BerSurface {
+            eval,
+            config,
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configured evaluation rules.
+    pub fn config(&self) -> SurfaceConfig {
+        self.config
+    }
+
+    /// Number of exact solves currently memoized.
+    pub fn memoized(&self) -> usize {
+        self.memo.lock().unwrap().len()
+    }
+
+    /// Exact-solve `gamma`, memoized by its bit pattern.
+    fn exact(&self, gamma: f64) -> f64 {
+        let key = gamma.to_bits();
+        if let Some(&v) = self.memo.lock().unwrap().get(&key) {
+            return v;
+        }
+        // Solve outside the lock: evaluators can be expensive (Monte-Carlo)
+        // and are pure, so a racing duplicate solve returns the same value.
+        let v = (self.eval)(gamma);
+        let mut memo = self.memo.lock().unwrap();
+        if memo.len() >= self.config.max_memo {
+            memo.clear();
+        }
+        memo.insert(key, v);
+        v
+    }
+
+    /// The BER at linear SNR `gamma`.
+    pub fn ber(&self, gamma: f64) -> f64 {
+        assert!(gamma.is_finite() && gamma > 0.0, "need finite positive SNR");
+        if self.config.rel_tol <= 0.0 {
+            return self.exact(gamma);
+        }
+        let step = self.config.ln_gamma_step;
+        let t = gamma.ln() / step;
+        let k = t.floor();
+        let g0 = (k * step).exp();
+        let gm = ((k + 0.5) * step).exp();
+        let g1 = ((k + 1.0) * step).exp();
+        // A query landing exactly on a solved node returns the exact value,
+        // so grid-node answers are byte-identical to direct evaluation.
+        if gamma == g0 || gamma == gm || gamma == g1 {
+            return self.exact(gamma);
+        }
+        let (b0, bm, b1) = (self.exact(g0), self.exact(gm), self.exact(g1));
+        // Log-log interpolation needs strictly positive values; degenerate
+        // brackets (underflowed tails) fall back to the exact solve.
+        if !(b0 > 0.0 && bm > 0.0 && b1 > 0.0) {
+            return self.exact(gamma);
+        }
+        let (l0, lm, l1) = (b0.ln(), bm.ln(), b1.ln());
+        // Error bound: the coarse secant's defect at the half node.
+        if (0.5 * (l0 + l1) - lm).abs() > self.config.rel_tol {
+            return self.exact(gamma);
+        }
+        let frac = t - k;
+        let l = if frac <= 0.5 {
+            l0 + (lm - l0) * (frac / 0.5)
+        } else {
+            lm + (l1 - lm) * ((frac - 0.5) / 0.5)
+        };
+        l.exp()
+    }
+
+    /// The BER at an SNR given in dB (convenience wrapper).
+    pub fn ber_db(&self, snr_db: f64) -> f64 {
+        self.ber(10f64.powf(snr_db / 10.0))
+    }
+}
+
+/// The closed-form BER models a shared surface can wrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BerModel {
+    /// Noncoherent OOK envelope detection (passive / backscatter links):
+    /// [`crate::ber::ber_ook_noncoherent_fast`].
+    NoncoherentOok,
+    /// Coherent FSK detection (the active BLE-class radio):
+    /// [`crate::ber::ber_coherent`].
+    CoherentFsk,
+}
+
+type Registry = RwLock<HashMap<(BerModel, u64), Arc<BerSurface>>>;
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide shared strict surface for (`model`, `rate`).
+///
+/// All callers asking about the same mode and bitrate share one memo
+/// table, so e.g. the MAC epoch loop and the range figures each solve a
+/// given SNR point once per process. Strict mode keeps every answer
+/// identical to calling the underlying closed form directly. The rate is
+/// part of the key (the closed forms are rate-independent given γ, but
+/// surfaces backed by rate-dependent evaluators share the registry).
+pub fn shared(model: BerModel, rate: BitsPerSecond) -> Arc<BerSurface> {
+    let registry = REGISTRY.get_or_init(|| RwLock::new(HashMap::new()));
+    let key = (model, rate.bps().to_bits());
+    if let Some(s) = registry.read().unwrap().get(&key) {
+        return Arc::clone(s);
+    }
+    let mut writer = registry.write().unwrap();
+    Arc::clone(writer.entry(key).or_insert_with(|| {
+        let eval: Box<dyn Fn(f64) -> f64 + Send + Sync> = match model {
+            BerModel::NoncoherentOok => Box::new(crate::ber::ber_ook_noncoherent_fast),
+            BerModel::CoherentFsk => Box::new(crate::ber::ber_coherent),
+        };
+        Arc::new(BerSurface::new(eval, SurfaceConfig::strict()))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ber::{ber_coherent, ber_ook_noncoherent_fast};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn counted_ook(counter: Arc<AtomicUsize>) -> Box<dyn Fn(f64) -> f64 + Send + Sync> {
+        Box::new(move |g| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            ber_ook_noncoherent_fast(g)
+        })
+    }
+
+    #[test]
+    fn strict_mode_is_bitwise_exact_and_solves_once() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let s = BerSurface::new(counted_ook(Arc::clone(&calls)), SurfaceConfig::strict());
+        for _ in 0..3 {
+            for db in [2.0f64, 4.0, 6.0, 8.0, 10.0] {
+                let gamma = 10f64.powf(db / 10.0);
+                let direct = ber_ook_noncoherent_fast(gamma);
+                assert_eq!(s.ber(gamma).to_bits(), direct.to_bits(), "{db} dB");
+            }
+        }
+        // 5 distinct points, 15 queries, 5 solves.
+        assert_eq!(calls.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn interpolating_mode_respects_tolerance() {
+        let cfg = SurfaceConfig::interpolating(0.02);
+        let s = BerSurface::new(Box::new(ber_ook_noncoherent_fast), cfg);
+        for i in 0..200 {
+            let gamma = 10f64.powf(0.3 + 0.05 * i as f64 / 10.0);
+            let approx = s.ber(gamma);
+            let exact = ber_ook_noncoherent_fast(gamma);
+            let rel = (approx.ln() - exact.ln()).abs();
+            // Accepted interpolants carry ~defect/4 error; the guard bounds
+            // the defect by rel_tol, so allow rel_tol itself with margin.
+            assert!(
+                rel <= cfg.rel_tol * 1.5,
+                "gamma {gamma}: approx {approx:.6e} vs exact {exact:.6e} (rel {rel:.3e})"
+            );
+        }
+    }
+
+    #[test]
+    fn interpolating_mode_is_exact_at_grid_nodes() {
+        let cfg = SurfaceConfig::interpolating(0.05);
+        let s = BerSurface::new(Box::new(ber_ook_noncoherent_fast), cfg);
+        for k in -4i32..=40 {
+            let gamma = (k as f64 * cfg.ln_gamma_step).exp();
+            let direct = ber_ook_noncoherent_fast(gamma);
+            assert_eq!(s.ber(gamma).to_bits(), direct.to_bits(), "node {k}");
+        }
+    }
+
+    #[test]
+    fn answers_do_not_depend_on_query_order() {
+        let cfg = SurfaceConfig::interpolating(0.02);
+        let gammas: Vec<f64> = (0..60).map(|i| 10f64.powf(0.2 + 0.02 * i as f64)).collect();
+        let forward = BerSurface::new(Box::new(ber_ook_noncoherent_fast), cfg);
+        let backward = BerSurface::new(Box::new(ber_ook_noncoherent_fast), cfg);
+        let a: Vec<u64> = gammas.iter().map(|&g| forward.ber(g).to_bits()).collect();
+        let b: Vec<u64> = {
+            let mut out: Vec<(usize, u64)> = gammas
+                .iter()
+                .enumerate()
+                .rev()
+                .map(|(i, &g)| (i, backward.ber(g).to_bits()))
+                .collect();
+            out.sort_by_key(|&(i, _)| i);
+            out.into_iter().map(|(_, v)| v).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn surface_stays_monotone_where_model_is() {
+        let cfg = SurfaceConfig::interpolating(0.05);
+        let s = BerSurface::new(Box::new(ber_ook_noncoherent_fast), cfg);
+        let mut prev = f64::INFINITY;
+        for i in 0..400 {
+            let gamma = 10f64.powf(0.0 + i as f64 * 0.005);
+            let b = s.ber(gamma);
+            assert!(
+                b <= prev * (1.0 + 1e-12),
+                "BER must not rise with SNR: {b} after {prev} at gamma {gamma}"
+            );
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn memo_cap_clears_instead_of_growing() {
+        let cfg = SurfaceConfig {
+            max_memo: 16,
+            ..SurfaceConfig::strict()
+        };
+        let s = BerSurface::new(Box::new(ber_ook_noncoherent_fast), cfg);
+        for i in 0..200 {
+            let _ = s.ber(1.0 + i as f64 * 0.01);
+        }
+        assert!(s.memoized() <= 16);
+    }
+
+    #[test]
+    fn shared_registry_returns_the_same_surface() {
+        let a = shared(BerModel::NoncoherentOok, BitsPerSecond::KBPS_100);
+        let b = shared(BerModel::NoncoherentOok, BitsPerSecond::KBPS_100);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = shared(BerModel::CoherentFsk, BitsPerSecond::KBPS_100);
+        assert!(!Arc::ptr_eq(&a, &c));
+        // Strict shared surfaces answer exactly like the closed forms.
+        let gamma = 10f64.powf(0.8);
+        assert_eq!(
+            a.ber(gamma).to_bits(),
+            ber_ook_noncoherent_fast(gamma).to_bits()
+        );
+        assert_eq!(c.ber(gamma).to_bits(), ber_coherent(gamma).to_bits());
+    }
+}

@@ -131,4 +131,62 @@ proptest! {
         prop_assert_eq!(recovered.len(), bits.len());
         prop_assert_eq!(recovered, bits);
     }
+
+    /// The fused Monte-Carlo chunk (interleaved modulate → corrupt →
+    /// demodulate, only decisions retained) must count exactly the same
+    /// errors as the materialized reference (waveform vector, noise pass,
+    /// full demodulation, then decision sampling), for arbitrary SNR,
+    /// chunk sizes, resolutions, rates and seeds.
+    #[test]
+    fn fused_chunk_matches_materialized_reference(
+        snr_db in 2.0f64..16.0,
+        nbits in 8usize..160,
+        seed in any::<u64>(),
+        spb in 10usize..60,
+        rate_sel in 0usize..3,
+    ) {
+        use braidio_phy::montecarlo::MonteCarloBer;
+        use braidio_units::BitsPerSecond;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let rate = [
+            BitsPerSecond::KBPS_10,
+            BitsPerSecond::KBPS_100,
+            BitsPerSecond::MBPS_1,
+        ][rate_sel];
+        let mut mc = MonteCarloBer::at_snr_db(snr_db, rate, nbits, seed);
+        // Shrink the per-bit resolution to keep the case fast; the
+        // arithmetic under test is resolution-independent.
+        mc.samples_per_bit = spb;
+        let fused = mc.run_chunk(nbits, seed);
+
+        // Materialized reference: the pre-fusion pipeline shape.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let training = 16usize;
+        let mut bits: Vec<bool> = Vec::with_capacity(training + nbits);
+        for i in 0..training {
+            bits.push(i % 2 == 0);
+        }
+        for _ in 0..nbits {
+            bits.push(rng.random_bool(0.5));
+        }
+        let modulator = OokModulator::new(mc.samples_per_bit, mc.envelope_high, mc.envelope_low);
+        let mut envelope = modulator.modulate(&bits);
+        for s in envelope.iter_mut() {
+            let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.random_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+            *s = (*s + mc.noise_rms * z).max(0.0);
+        }
+        let sliced = mc.chain.demodulate(&envelope, modulator.sample_interval(mc.rate));
+        let mut errors = 0usize;
+        for (i, &bit) in bits.iter().enumerate().skip(training) {
+            if sliced[modulator.decision_index(i)] != bit {
+                errors += 1;
+            }
+        }
+        prop_assert_eq!(fused.bits, nbits);
+        prop_assert_eq!(fused.errors, errors);
+    }
 }

@@ -13,7 +13,8 @@
 //!   `braidio-rfsim` link budgets and `braidio-phy` detection statistics.
 
 use crate::mode::Mode;
-use braidio_phy::ber::{ber_coherent, ber_ook_noncoherent, ber_ook_noncoherent_fast, snr_for_ber};
+use braidio_phy::ber::{ber_ook_noncoherent, snr_for_ber};
+use braidio_phy::surface::{self, BerModel};
 use braidio_rfsim::noise::CoherentReceiverNoise;
 use braidio_rfsim::LinkBudget;
 use braidio_units::{BitsPerSecond, Decibels, Hertz, JoulesPerBit, Meters, Watts};
@@ -359,15 +360,24 @@ impl Characterization {
     }
 
     /// Bit error rate of a mode/rate at distance `d`.
+    ///
+    /// Answered by the process-shared strict [`BerSurface`] for the mode's
+    /// detection model, so the range bisections, the figure sweeps and the
+    /// MAC epoch loop each solve a given SNR point once per process. A
+    /// strict surface memoizes exact closed-form solves, so values are
+    /// bit-identical to calling the closed forms directly.
+    ///
+    /// [`BerSurface`]: braidio_phy::surface::BerSurface
     pub fn ber(&self, mode: Mode, rate: Rate, d: Meters) -> f64 {
         if self.power(mode, rate).is_none() {
             return 0.5;
         }
         let gamma = self.snr(mode, rate, d).linear();
-        match mode {
-            Mode::Active => ber_coherent(gamma),
-            Mode::Passive | Mode::Backscatter => ber_ook_noncoherent_fast(gamma),
-        }
+        let model = match mode {
+            Mode::Active => BerModel::CoherentFsk,
+            Mode::Passive | Mode::Backscatter => BerModel::NoncoherentOok,
+        };
+        surface::shared(model, rate.bps()).ber(gamma)
     }
 
     /// Is this mode/rate operational (BER below threshold) at `d`?
@@ -425,6 +435,36 @@ mod tests {
 
     fn ch() -> Characterization {
         Characterization::braidio()
+    }
+
+    #[test]
+    fn surface_backed_ber_matches_closed_forms_bitwise() {
+        // `ber` routes through the shared strict surface; strict mode must
+        // return exactly what the closed forms return, at every queried
+        // distance, for every mode.
+        use braidio_phy::ber::{ber_coherent, ber_ook_noncoherent_fast};
+        let c = ch();
+        for i in 1..=40 {
+            let d = Meters::new(0.25 * i as f64);
+            for mode in [Mode::Active, Mode::Passive, Mode::Backscatter] {
+                for rate in Rate::ALL {
+                    if c.power(mode, rate).is_none() {
+                        continue;
+                    }
+                    let gamma = c.snr(mode, rate, d).linear();
+                    let direct = match mode {
+                        Mode::Active => ber_coherent(gamma),
+                        _ => ber_ook_noncoherent_fast(gamma),
+                    };
+                    assert_eq!(
+                        c.ber(mode, rate, d).to_bits(),
+                        direct.to_bits(),
+                        "{mode} {} at {d}",
+                        rate.label()
+                    );
+                }
+            }
+        }
     }
 
     #[test]
