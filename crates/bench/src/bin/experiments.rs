@@ -77,24 +77,29 @@ fn main() {
     }
 }
 
-/// Render the timing report as JSON (schema 1, stable):
+/// Render the timing report as JSON (schema 2, stable):
 ///
 /// ```json
 /// {
-///   "schema": 1,
+///   "schema": 2,
 ///   "git_sha": "<HEAD sha or \"unknown\">",
 ///   "threads": 4,
 ///   "experiments": [{"name": "fig1", "seconds": 0.012}, ...],
+///   "metrics": [{"name": "fleet.bound.tdma_goodput_bps", "value": 5e5}, ...],
 ///   "total_seconds": 1.234
 /// }
 /// ```
 ///
-/// Written by hand (no serde in the workspace); experiment names are
-/// lowercase identifiers, so no JSON string escaping is needed.
+/// Schema 2 adds the `metrics` array: headline simulation results the
+/// experiments recorded through `braidio_bench::metrics` while running, so
+/// regression tooling can track outcomes without scraping stdout.
+///
+/// Written by hand (no serde in the workspace); experiment and metric
+/// names are lowercase identifiers, so no JSON string escaping is needed.
 fn bench_json(timings: &[(&str, f64)]) -> String {
     let total: f64 = timings.iter().map(|(_, s)| s).sum();
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"schema\": 2,\n");
     out.push_str(&format!("  \"git_sha\": \"{}\",\n", git_sha()));
     out.push_str(&format!(
         "  \"threads\": {},\n",
@@ -105,6 +110,15 @@ fn bench_json(timings: &[(&str, f64)]) -> String {
         let comma = if i + 1 < timings.len() { "," } else { "" };
         out.push_str(&format!(
             "    {{\"name\": \"{name}\", \"seconds\": {s:.6}}}{comma}\n"
+        ));
+    }
+    out.push_str("  ],\n");
+    let metrics = braidio_bench::metrics::snapshot();
+    out.push_str("  \"metrics\": [\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"value\": {value:.6}}}{comma}\n"
         ));
     }
     out.push_str("  ],\n");
@@ -160,12 +174,14 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
             "--bench-json" => {
                 let v = it
                     .next()
+                    .filter(|v| !v.starts_with('-'))
                     .ok_or_else(|| format!("{arg} needs an output path"))?;
                 bench_json = Some(v.clone());
             }
             "--jobs" | "-j" => {
                 let v = it
                     .next()
+                    .filter(|v| !v.starts_with('-'))
                     .ok_or_else(|| format!("{arg} needs a thread count"))?;
                 let n: usize = v
                     .parse()
@@ -225,7 +241,8 @@ fn usage() {
     eprintln!("  list           print the available experiment ids and exit");
     eprintln!("  <id> [<id>..]  a subset, run in the order given");
     eprintln!("                 (fig1 fig3 fig4 fig6 fig9 fig12..fig18,");
-    eprintln!("                  table1 table2 table3 table5, ablation, ...)");
+    eprintln!("                  table1 table2 table3 table5, ablation,");
+    eprintln!("                  coexistence, lifetime, fleet, ...)");
     eprintln!();
     eprintln!("flags:");
     eprintln!("  --jobs N, -j N worker threads for the simulation pool");
@@ -233,8 +250,9 @@ fn usage() {
     eprintln!("                  results are identical at any thread count)");
     eprintln!("  --timing       per-experiment wall-clock report on stderr");
     eprintln!("  --bench-json PATH");
-    eprintln!("                 write the timing report as JSON (schema 1:");
-    eprintln!("                  git sha, thread count, per-experiment seconds)");
+    eprintln!("                 write the timing report as JSON (schema 2:");
+    eprintln!("                  git sha, thread count, per-experiment seconds,");
+    eprintln!("                  recorded headline metrics)");
     eprintln!();
     eprintln!("Regenerates the tables and figures of the Braidio paper (SIGCOMM'16)");
     eprintln!("from the simulation models in this workspace. See EXPERIMENTS.md for");

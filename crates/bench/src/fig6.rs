@@ -93,7 +93,10 @@ mod tests {
         let ber_alone = surface.ber(single.snr(p0, 0).linear());
         let ber_div = surface.ber(diverse.snr_diversity(p0).1.linear());
         assert!(ber_alone > 0.2, "0.5 m null BER alone {ber_alone:.3}");
-        assert!(ber_div < 1e-3, "0.5 m null BER with diversity {ber_div:.2e}");
+        assert!(
+            ber_div < 1e-3,
+            "0.5 m null BER with diversity {ber_div:.2e}"
+        );
         // ...and the deepest null is lifted by more than 30 dB.
         let lift_db = 10.0 * (deepest.1 / deepest.0).log10();
         assert!(lift_db > 30.0, "deepest-null lift {lift_db:.1} dB");

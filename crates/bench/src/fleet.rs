@@ -1,0 +1,314 @@
+//! Fleet experiment: multi-device network simulation under the three
+//! carrier-arbitration policies.
+//!
+//! Scales the §7 coexistence question from one interferer to a room:
+//! M independent pairs (and a star of harvesting tags around a hub) run
+//! the full §4.2 offload protocol in `braidio-net`'s deterministic
+//! event-driven engine. Scenarios are independent, so they shard across
+//! the work pool — one scenario per work item, merged in index order —
+//! and the output is byte-identical at any `--jobs` count.
+
+use crate::metrics;
+use crate::render::banner;
+use braidio_mac::coexistence::Coexistence;
+use braidio_net::{run_fleet, Arbitration, FleetReport, FleetScenario};
+use braidio_radio::characterization::Characterization;
+use braidio_radio::Mode;
+use braidio_units::{Meters, Seconds};
+
+const SLOT: Seconds = Seconds::new(0.25);
+const PAIR_SEP: Meters = Meters::new(0.5);
+const SPACING: Meters = Meters::new(3.0);
+const ROOM_HORIZON: Seconds = Seconds::new(30.0);
+const STAR_HORIZON: Seconds = Seconds::new(120.0);
+const TAG_WH: f64 = 0.001;
+
+fn policies() -> [Arbitration; 3] {
+    [
+        Arbitration::Uncoordinated,
+        Arbitration::ChannelPlan { channels: 2 },
+        Arbitration::TdmaRoundRobin { slot: SLOT },
+    ]
+}
+
+/// The scenario grid, in output order. Public so the determinism suite can
+/// re-run the exact grid at different thread counts.
+pub fn scenarios() -> Vec<(&'static str, FleetScenario)> {
+    let mut out = Vec::new();
+    // Room: M independent 0.5 m pairs, 3 m apart, equal 1 Wh batteries.
+    for m in [2usize, 4, 8] {
+        for arb in policies() {
+            out.push((
+                "room",
+                FleetScenario::independent_pairs(m, PAIR_SEP, SPACING, 1.0, 1.0, arb)
+                    .with_horizon(ROOM_HORIZON),
+            ));
+        }
+    }
+    // Bound check: 2 pairs without control-plane costs, comparable to the
+    // analytical coexistence numbers (which ignore control traffic too).
+    out.push((
+        "bound",
+        FleetScenario::independent_pairs(
+            2,
+            PAIR_SEP,
+            SPACING,
+            1.0,
+            1.0,
+            Arbitration::TdmaRoundRobin { slot: SLOT },
+        )
+        .with_horizon(ROOM_HORIZON)
+        .without_control_overhead(),
+    ));
+    // Star: K coin-cell tags streaming to one mains-class hub.
+    for arb in [
+        Arbitration::TdmaRoundRobin { slot: SLOT },
+        Arbitration::Uncoordinated,
+    ] {
+        out.push((
+            "star",
+            FleetScenario::star(8, PAIR_SEP, 99.5, TAG_WH, arb).with_horizon(STAR_HORIZON),
+        ));
+    }
+    out
+}
+
+/// Mean fraction of the tags' batteries spent (devices 1.. are the tags).
+fn tag_spend(r: &FleetReport, sc: &FleetScenario) -> f64 {
+    let tags = sc.devices.len() - 1;
+    (1..sc.devices.len())
+        .map(|d| r.device_spent[d].joules() / sc.devices[d].battery.joules())
+        .sum::<f64>()
+        / tags as f64
+}
+
+/// Tag sessions that died before the horizon.
+fn dead_sessions(r: &FleetReport) -> usize {
+    r.pair_dead_at.iter().filter(|d| d.is_some()).count()
+}
+
+fn detector_share(r: &FleetReport) -> f64 {
+    r.mode_share(Mode::Passive) + r.mode_share(Mode::Backscatter)
+}
+
+fn mean_carrier_duty(r: &FleetReport) -> f64 {
+    let n = r.device_carrier_time.len();
+    (0..n).map(|d| r.carrier_duty(d)).sum::<f64>() / n as f64
+}
+
+/// Fleet-wide energy cost of a delivered bit, nJ/bit.
+fn nj_per_bit(r: &FleetReport) -> f64 {
+    let spent: f64 = r.device_spent.iter().map(|j| j.joules()).sum();
+    1e9 * spent / r.total_bits().max(f64::MIN_POSITIVE)
+}
+
+/// Run the fleet experiment.
+pub fn run() {
+    banner(
+        "Fleet",
+        "Multi-device network simulation: carrier arbitration at room scale",
+    );
+    let grid = scenarios();
+    let reports = braidio_pool::par_map(&grid, |(_, sc)| run_fleet(sc));
+
+    println!(
+        "independent pairs ({} m links, {} m apart, 1 Wh each, {:.0} s horizon; goodput in bit/s):",
+        PAIR_SEP.meters(),
+        SPACING.meters(),
+        ROOM_HORIZON.seconds()
+    );
+    println!(
+        "{:>6} {:>14} {:>15} {:>9} {:>12} {:>13} {:>9}",
+        "pairs", "policy", "goodput/pair", "fairness", "bs+passive", "carrier duty", "nJ/bit"
+    );
+    let mut idx = 0;
+    for m in [2usize, 4, 8] {
+        for arb in policies() {
+            let r = &reports[idx];
+            idx += 1;
+            println!(
+                "{:>6} {:>14} {:>15.0} {:>9.3} {:>11.0}% {:>12.0}% {:>9.1}",
+                m,
+                arb.label(),
+                r.goodput_per_pair(),
+                r.fairness(),
+                100.0 * detector_share(r),
+                100.0 * mean_carrier_duty(r),
+                nj_per_bit(r),
+            );
+            metrics::record(
+                &format!(
+                    "fleet.room.m{m}.{}.goodput_bps",
+                    arb.label().replace('-', "_")
+                ),
+                r.goodput_per_pair(),
+            );
+        }
+    }
+
+    // Analytical cross-check: TDMA against the coexistence bound.
+    let bound_report = &reports[idx];
+    idx += 1;
+    let ch = Characterization::braidio();
+    let full_rate = ch
+        .max_rate(Mode::Backscatter, PAIR_SEP)
+        .expect("backscatter works at 0.5 m")
+        .bps()
+        .bps();
+    let bound = full_rate * Arbitration::TdmaRoundRobin { slot: SLOT }.airtime_share(2);
+    let tdma_goodput = bound_report.pair_goodput(0);
+    println!("\ncoordination recovers the braid (2 pairs, control overhead off):");
+    println!(
+        "  TDMA per-pair goodput {:>9.0} b/s vs analytical 50% bound {:>9.0} b/s ({:.1}% of bound;",
+        tdma_goodput,
+        bound,
+        100.0 * tdma_goodput / bound
+    );
+    println!("   residual = final quantum truncated at the horizon + first-slot phasing)");
+    let co = Coexistence::braidio_neighbor(SPACING);
+    let bs_crossover = co.tdma_crossover_distance(Mode::Backscatter, PAIR_SEP);
+    let pv_crossover = co.tdma_crossover_distance(Mode::Passive, PAIR_SEP);
+    println!(
+        "  analytical TDMA crossover (suffering beats slots beyond d*): backscatter {}, passive {}",
+        bs_crossover
+            .map(|d| format!("{:.0} m", d.meters()))
+            .unwrap_or_else(|| "never".into()),
+        pv_crossover
+            .map(|d| format!("{:.0} m", d.meters()))
+            .unwrap_or_else(|| "never".into()),
+    );
+    metrics::record("fleet.bound.tdma_goodput_bps", tdma_goodput);
+    metrics::record("fleet.bound.analytical_bps", bound);
+
+    // Star summary: the asymmetric-energy story. Under TDMA the mains-class
+    // hub carries the carrier burden and the coin-cell tags coast; an
+    // uncoordinated star forces every tag onto its own active radio, which
+    // drains the coin cells until the sessions burn out.
+    println!(
+        "\nstar: 8 tags -> hub (0.5 m ring, hub 99.5 Wh, tags {:.0} mWh, {:.0} s horizon; goodput in bit/s):",
+        TAG_WH * 1e3,
+        STAR_HORIZON.seconds()
+    );
+    println!(
+        "{:>14} {:>15} {:>12} {:>10} {:>11} {:>14}",
+        "policy", "goodput/tag", "bs+passive", "hub duty", "tag spend", "dead sessions"
+    );
+    for arb in [
+        Arbitration::TdmaRoundRobin { slot: SLOT },
+        Arbitration::Uncoordinated,
+    ] {
+        let (_, sc) = &grid[idx];
+        let r = &reports[idx];
+        idx += 1;
+        println!(
+            "{:>14} {:>15.0} {:>11.0}% {:>9.0}% {:>10.1}% {:>11}/8",
+            arb.label(),
+            r.goodput_per_pair(),
+            100.0 * detector_share(r),
+            100.0 * r.carrier_duty(0),
+            100.0 * tag_spend(r, sc),
+            dead_sessions(r),
+        );
+        metrics::record(
+            &format!("fleet.star.{}.goodput_bps", arb.label().replace('-', "_")),
+            r.goodput_per_pair(),
+        );
+        metrics::record(
+            &format!("fleet.star.{}.tag_spend", arb.label().replace('-', "_")),
+            tag_spend(r, sc),
+        );
+        metrics::record(
+            &format!("fleet.star.{}.dead_sessions", arb.label().replace('-', "_")),
+            dead_sessions(r) as f64,
+        );
+    }
+
+    println!("\n=> an uncoordinated in-band carrier erases backscatter at *any* separation");
+    println!("   (two-way d^4 link, no protection distance) and a static channel plan");
+    println!("   cannot help a channel-blind envelope detector; round-robin TDMA trades");
+    println!("   airtime for interference-free slots and recovers the full braid — and");
+    println!("   with it the asymmetric-energy braid: the hub pays for the carrier while");
+    println!("   coin-cell tags coast, instead of burning out on their active radios.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncoordinated_kills_backscatter_tdma_recovers_the_bound() {
+        let grid = scenarios();
+        let reports = braidio_pool::par_map(&grid, |(_, sc)| run_fleet(sc));
+        // Room rows: policies cycle [uncoordinated, channel-plan, tdma].
+        for (i, m) in [2usize, 4, 8].iter().enumerate() {
+            let unc = &reports[3 * i];
+            let plan = &reports[3 * i + 1];
+            let tdma = &reports[3 * i + 2];
+            assert_eq!(
+                unc.mode_share(Mode::Backscatter),
+                0.0,
+                "m={m} uncoordinated"
+            );
+            assert_eq!(
+                plan.mode_share(Mode::Backscatter),
+                0.0,
+                "m={m} channel plan"
+            );
+            assert!(detector_share(tdma) > 0.5, "m={m} tdma braids");
+        }
+        // The bound scenario recovers the analytical 50% share within the
+        // documented quantization residual (final quantum + slot phasing).
+        let bound_report = &reports[9];
+        let ch = Characterization::braidio();
+        let bound = 0.5
+            * ch.max_rate(Mode::Backscatter, PAIR_SEP)
+                .unwrap()
+                .bps()
+                .bps();
+        let goodput = bound_report.pair_goodput(0);
+        assert!(
+            goodput >= 0.98 * bound,
+            "tdma goodput {goodput} vs bound {bound}"
+        );
+    }
+
+    #[test]
+    fn star_tags_coast_under_tdma_but_burn_out_uncoordinated() {
+        let grid = scenarios();
+        assert_eq!(grid[10].0, "star");
+        let tdma = run_fleet(&grid[10].1);
+        let unc = run_fleet(&grid[11].1);
+        // Under TDMA the hub carries the carrier burden and tags coast on
+        // their reflective modes: sessions outlive the horizon and the coin
+        // cells barely move.
+        assert_eq!(dead_sessions(&tdma), 0, "tdma sessions must survive");
+        assert!(
+            tdma.carrier_duty(0) > 0.5,
+            "hub duty {}",
+            tdma.carrier_duty(0)
+        );
+        assert!(
+            tag_spend(&tdma, &grid[10].1) < 0.1,
+            "tdma tag spend {}",
+            tag_spend(&tdma, &grid[10].1)
+        );
+        // Uncoordinated, every session sees the hub's other sessions at the
+        // near-field floor: no detector modes, tags forced onto their active
+        // radios — which drains the coin cells until the sessions die.
+        assert_eq!(detector_share(&unc), 0.0);
+        assert!(
+            tag_spend(&unc, &grid[11].1) > 0.5,
+            "uncoordinated tag spend {}",
+            tag_spend(&unc, &grid[11].1)
+        );
+        assert!(
+            dead_sessions(&unc) > 0,
+            "active-only sessions must burn out"
+        );
+    }
+
+    #[test]
+    fn runs() {
+        super::run();
+    }
+}

@@ -30,8 +30,10 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig6;
 pub mod fig9;
+pub mod fleet;
 pub mod lifetime;
 pub mod mcber;
+pub mod metrics;
 pub mod render;
 pub mod table1;
 pub mod table2;
@@ -62,6 +64,7 @@ pub const ALL: &[(&str, fn())] = &[
     ("dynamic", dynamic::run),
     ("coexistence", coexistence::run),
     ("lifetime", lifetime::run),
+    ("fleet", fleet::run),
 ];
 
 /// Hidden experiments: runnable by name but excluded from `all`, so the

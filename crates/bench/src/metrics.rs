@@ -1,0 +1,64 @@
+//! Headline-metric registry for machine-readable runs.
+//!
+//! Experiments `record` a handful of named scalar results while they run;
+//! the `experiments` binary folds the registry into its `--bench-json`
+//! report (schema 2), so CI and regression tooling can track simulation
+//! outcomes — not just wall-clock — without scraping stdout.
+//!
+//! Names are lowercase dotted identifiers (`fleet.tdma.m2.goodput_bps`), so
+//! the JSON renderer needs no string escaping. Recording the same name
+//! twice keeps the latest value; entries keep first-recorded order, so the
+//! report is deterministic for a fixed experiment selection.
+
+use std::sync::Mutex;
+
+static REGISTRY: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Record (or overwrite) a headline metric.
+pub fn record(name: &str, value: f64) {
+    assert!(
+        name.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+        "metric names are lowercase dotted identifiers, got {name:?}"
+    );
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    match reg.iter_mut().find(|(n, _)| n == name) {
+        Some(slot) => slot.1 = value,
+        None => reg.push((name.to_string(), value)),
+    }
+}
+
+/// All recorded metrics, in first-recorded order.
+pub fn snapshot() -> Vec<(String, f64)> {
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Clear the registry (tests).
+pub fn reset() {
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_keeps_order_and_overwrites() {
+        reset();
+        record("a.first", 1.0);
+        record("b.second", 2.0);
+        record("a.first", 3.0);
+        let snap = snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0], ("a.first".to_string(), 3.0));
+        assert_eq!(snap[1], ("b.second".to_string(), 2.0));
+        reset();
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "lowercase dotted")]
+    fn rejects_names_that_would_need_escaping() {
+        record("bad name \"quoted\"", 1.0);
+    }
+}

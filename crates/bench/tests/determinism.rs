@@ -3,7 +3,8 @@
 //! thread count only changes wall-clock time, never output.
 
 use braidio::pool;
-use braidio_bench::{fig15, render};
+use braidio_bench::{fig15, fleet, render};
+use braidio_net::run_fleet;
 use braidio_phy::ber::{ber_coherent, ber_ook_noncoherent_fast};
 use braidio_phy::montecarlo::MonteCarloBer;
 use braidio_phy::surface::{self, BerModel};
@@ -73,6 +74,40 @@ fn surface_backed_figures_match_direct_evaluation_bitwise() {
     }
     // And the registry has actually been exercised — the memo is warm.
     assert!(surface::shared(BerModel::NoncoherentOok, Rate::Kbps100.bps()).memoized() > 0);
+}
+
+#[test]
+fn fleet_grid_identical_at_1_and_4_threads() {
+    // The fleet experiment shards whole scenarios across the pool; every
+    // per-pair and per-device figure must come back bit-identical whether
+    // the grid ran serially or four wide.
+    let grid = fleet::scenarios();
+    let run = |n| pool::with_threads(n, || braidio_pool::par_map(&grid, |(_, sc)| run_fleet(sc)));
+    let serial = run(1);
+    let par = run(4);
+    assert_eq!(serial.len(), par.len());
+    for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+        assert_eq!(a.events, b.events, "scenario {i}");
+        assert_eq!(
+            a.end_time.seconds().to_bits(),
+            b.end_time.seconds().to_bits(),
+            "scenario {i}"
+        );
+        for (p, (x, y)) in a.pair_bits.iter().zip(&b.pair_bits).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "scenario {i} pair {p}: {x} vs {y}"
+            );
+        }
+        for (d, (x, y)) in a.device_spent.iter().zip(&b.device_spent).enumerate() {
+            assert_eq!(
+                x.joules().to_bits(),
+                y.joules().to_bits(),
+                "scenario {i} device {d}: {x:?} vs {y:?}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -21,7 +21,8 @@ pub struct Harvester {
     /// diode threshold). WISP-class front ends reach ~30 %.
     pub peak_efficiency: f64,
     /// Minimum input power for the pump to start up at all (cold-start
-    /// threshold; ~-16 dBm for Karthaus-Fischer-style transponders [33]).
+    /// threshold; ~-16 dBm for Karthaus-Fischer-style transponders,
+    /// ref. \[33\]).
     pub sensitivity: Watts,
 }
 

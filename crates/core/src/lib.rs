@@ -38,6 +38,7 @@
 //! | [`phy`] | OOK modulation, framing, CRC, BER models |
 //! | [`radio`] | modes, power characterization, baselines, devices |
 //! | [`mac`] | Eq. 1 offload solver, regimes, braided scheduler, simulator |
+//! | [`net`] | deterministic discrete-event kernel, multi-device fleets |
 //!
 //! This crate re-exports the stack and adds the ergonomic [`Transfer`]
 //! builder plus the packet-level [`live::LiveLink`] used by the examples.
@@ -46,6 +47,7 @@
 
 pub use braidio_circuits as circuits;
 pub use braidio_mac as mac;
+pub use braidio_net as net;
 pub use braidio_phy as phy;
 pub use braidio_pool as pool;
 pub use braidio_radio as radio;

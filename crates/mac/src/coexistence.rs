@@ -166,6 +166,25 @@ impl Coexistence {
             .unwrap_or(0.0);
         (suffer, tdma)
     }
+
+    /// The analytical TDMA crossover: the minimum interferer distance past
+    /// which *suffering* the interference out-throughputs two-pair TDMA for
+    /// the given mode at `d_pair`.
+    ///
+    /// Braidio's bitrates are decade-spaced while two-pair TDMA halves the
+    /// airtime, so suffering only wins once the victim keeps its *full*
+    /// interference-free rate (the next rate down is 10× slower — far less
+    /// than half). The crossover therefore equals
+    /// [`required_interferer_distance`] at the mode's clean max rate.
+    /// `None` means no distance suffices (the backscatter case: an
+    /// uncoordinated in-band carrier beats a two-way reflection from any
+    /// separation, so coordination is mandatory).
+    ///
+    /// [`required_interferer_distance`]: Coexistence::required_interferer_distance
+    pub fn tdma_crossover_distance(&self, mode: Mode, d_pair: Meters) -> Option<Meters> {
+        let full = self.ch.max_rate(mode, d_pair)?;
+        self.required_interferer_distance(mode, full, d_pair)
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +256,32 @@ mod tests {
         assert!(
             (1.0..100.0).contains(&req_p.meters()),
             "passive requires {req_p}"
+        );
+    }
+
+    #[test]
+    fn tdma_crossover_is_where_suffer_overtakes_tdma() {
+        let c = Coexistence::braidio_neighbor(Meters::new(1.0));
+        let pair = Meters::new(1.0);
+        // Backscatter: no crossover distance exists.
+        assert_eq!(c.tdma_crossover_distance(Mode::Backscatter, pair), None);
+        // Passive: a finite crossover exists, and suffer_vs_tdma flips
+        // around it.
+        let d_star = c
+            .tdma_crossover_distance(Mode::Passive, pair)
+            .expect("passive recoverable");
+        assert!((0.05..100.0).contains(&d_star.meters()), "{d_star}");
+        let at = |d: f64| {
+            let mut cc = c.clone();
+            cc.interferer_distance = Meters::new(d);
+            cc.suffer_vs_tdma(Mode::Passive, pair)
+        };
+        let (suffer, tdma) = at(d_star.meters() * 1.05);
+        assert!(suffer > tdma, "just past the crossover: {suffer} vs {tdma}");
+        let (suffer, tdma) = at(d_star.meters() * 0.95);
+        assert!(
+            suffer < tdma,
+            "just inside the crossover: {suffer} vs {tdma}"
         );
     }
 

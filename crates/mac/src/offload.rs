@@ -292,9 +292,9 @@ fn memo_key(options: &[LinkOption], qk: i64) -> MemoKey {
 ///
 /// The plan depends on the batteries only through the ratio `k = E₁/E₂`,
 /// so calls are cached under the option set and `k` quantized to the
-/// [`LN_K_QUANT`] log-domain grid; a hit and a miss return bit-identical
+/// `LN_K_QUANT` log-domain grid; a hit and a miss return bit-identical
 /// plans because the canonical solve itself uses the quantized ratio.
-/// The cache is process-wide, thread-safe, and bounded at [`MEMO_CAP`]
+/// The cache is process-wide, thread-safe, and bounded at `MEMO_CAP`
 /// entries. Simulation loops that re-solve every epoch against
 /// slowly-evolving energy levels hit the cache almost every time.
 pub fn solve_memo(options: &[LinkOption], e1: Joules, e2: Joules) -> Option<OffloadPlan> {

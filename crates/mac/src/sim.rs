@@ -226,8 +226,10 @@ fn simulate_single_mode(setup: &TransferSetup, mode: Mode) -> SimReport {
 }
 
 /// The braid's mode-alternation rate: switches per packet for a plan with
-/// fractions `p` over at most two modes.
-fn switches_per_packet(plan: &OffloadPlan) -> f64 {
+/// fractions `p` over at most two modes. Public so the network simulator
+/// (`braidio-net`) charges the same Table 5 switching overhead per quantum
+/// as this pairwise engine.
+pub fn switches_per_packet(plan: &OffloadPlan) -> f64 {
     if plan.allocations.len() < 2 {
         return 0.0;
     }

@@ -6,7 +6,8 @@
 //! can leave its ~35 µW envelope-detector chain listening *continuously*
 //! instead of duty-cycling a ~90 mW active receiver. This module
 //! quantifies that trade against classic low-power-listening (LPL, à la
-//! B-MAC [43]) and wake-up-radio schemes [21, 38] from related work.
+//! B-MAC, ref. \[43\]) and wake-up-radio schemes \[21, 38\] from related
+//! work.
 
 use braidio_units::{Seconds, Watts};
 

@@ -1,0 +1,750 @@
+//! The event-driven fleet engine.
+//!
+//! Each traffic pair runs the §4.2 control protocol as a legal
+//! [`OffloadFsm`] event sequence — associate, exchange status, probe, braid,
+//! periodically re-plan — driven entirely by kernel events. Data moves in
+//! *braid quanta* ([`FleetScenario::quantum_packets`] packets): the energy
+//! and airtime of a quantum are computed when it is scheduled (plan costs
+//! plus the same amortized Table 5 switching charge as `mac::sim`), and
+//! committed when its completion event is delivered. Events past the
+//! scenario horizon are never delivered, so a truncated run is exactly the
+//! prefix of the infinite one.
+//!
+//! Planning is interference-aware and *worst-case*: a pair plans against
+//! the full CW carrier power (`Characterization::carrier_rf`) of every
+//! other live pair, radiated from whichever of that pair's two devices sits
+//! closer to the victim receiver. This over-approximates pairs that end up
+//! braiding carrier-free allocations, but it keeps planning independent of
+//! the other pairs' current plans — which makes the simulation's outcome a
+//! pure function of the event order, and the event order a pure function of
+//! the scenario. Pairs that share a device (a star hub serving several
+//! tags) see each other at the near-field floor, modelling the fact that a
+//! single radio cannot host two uncoordinated sessions at once.
+//!
+//! Determinism: one pending event per (pair, kind) keeps kernel keys
+//! unique; the pair index is the kernel's entity id; all floating-point
+//! reductions iterate in pair/device index order.
+
+use crate::arbitration::Arbitration;
+use crate::interference::{interference_at, options_under, CarrierSource};
+use crate::kernel::EventQueue;
+use crate::metrics::FleetReport;
+use crate::scenario::FleetScenario;
+use braidio_mac::fsm::{Event as FsmEvent, OffloadFsm};
+use braidio_mac::mobility::MobilityTrace;
+use braidio_mac::offload::{solve_memo, OffloadPlan};
+use braidio_mac::probe::LinkProber;
+use braidio_mac::sim::switches_per_packet;
+use braidio_radio::characterization::Rate;
+use braidio_radio::{Battery, Mode, Role};
+use braidio_rfsim::geometry::Point;
+use braidio_units::{Joules, Meters, Seconds, Watts};
+
+/// Battery-status exchange size, bits each way over the active link (§4.2
+/// step 1: "exchange battery status").
+const STATUS_BITS: f64 = 256.0;
+
+/// Fixed association stagger between pairs: pair `i` comes up at
+/// `i · ASSOC_STAGGER`. Keeps bring-up event keys distinct and models
+/// non-simultaneous discovery.
+const ASSOC_STAGGER: Seconds = Seconds::new(1e-3);
+
+/// The network events, in protocol order. The discriminant is the kernel's
+/// same-instant `seq` class: when a re-plan and a quantum completion land
+/// on the same instant, the completion (later rank) commits after the
+/// re-plan reshaped the next quantum — a fixed, documented choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Associate,
+    StatusExchanged,
+    ProbesDone,
+    Replan,
+    QuantumDone,
+}
+
+impl Kind {
+    fn rank(self) -> u64 {
+        match self {
+            Kind::Associate => 0,
+            Kind::StatusExchanged => 1,
+            Kind::ProbesDone => 2,
+            Kind::Replan => 3,
+            Kind::QuantumDone => 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    pair: usize,
+    kind: Kind,
+}
+
+/// A quantum in flight: its energy and accounting are committed when the
+/// completion event is delivered (never, if the horizon or a re-plan death
+/// cuts the session first).
+#[derive(Debug, Clone)]
+struct PendingQuantum {
+    bits: f64,
+    e_tx: Joules,
+    e_rx: Joules,
+    /// (mode, bits, tx-radiates, rx-radiates, airtime) per allocation.
+    slices: Vec<(Mode, f64, bool, bool, Seconds)>,
+    /// This quantum exhausts a battery.
+    last: bool,
+}
+
+#[derive(Debug)]
+struct DeviceRt {
+    pos: Point,
+    battery: Battery,
+    spent: Joules,
+    dead_at: Option<Seconds>,
+    carrier_time: Seconds,
+}
+
+#[derive(Debug)]
+struct PairRt {
+    fsm: OffloadFsm,
+    plan: Option<OffloadPlan>,
+    pending: Option<PendingQuantum>,
+    bits: f64,
+    mode_bits: [(Mode, f64); 3],
+    dead_at: Option<Seconds>,
+    /// Unit vector tx→rx for mobility displacement.
+    dir: Point,
+}
+
+/// Run a fleet scenario to its horizon (or until every session dies).
+pub fn run_fleet(scenario: &FleetScenario) -> FleetReport {
+    scenario.validate();
+    let mut sim = Fleet::new(scenario);
+    sim.run()
+}
+
+struct Fleet<'a> {
+    sc: &'a FleetScenario,
+    q: EventQueue<Ev>,
+    devices: Vec<DeviceRt>,
+    pairs: Vec<PairRt>,
+    replans: u64,
+}
+
+impl<'a> Fleet<'a> {
+    fn new(sc: &'a FleetScenario) -> Self {
+        let devices = sc
+            .devices
+            .iter()
+            .map(|d| DeviceRt {
+                pos: d.pos,
+                battery: Battery::new(d.battery),
+                spent: Joules::ZERO,
+                dead_at: None,
+                carrier_time: Seconds::ZERO,
+            })
+            .collect();
+        let pairs = sc
+            .pairs
+            .iter()
+            .map(|p| PairRt {
+                fsm: OffloadFsm::new(),
+                plan: None,
+                pending: None,
+                bits: 0.0,
+                mode_bits: [
+                    (Mode::Active, 0.0),
+                    (Mode::Passive, 0.0),
+                    (Mode::Backscatter, 0.0),
+                ],
+                dead_at: None,
+                dir: sc.devices[p.tx]
+                    .pos
+                    .direction_to(sc.devices[p.rx].pos)
+                    .unwrap_or(Point::new(1.0, 0.0)),
+            })
+            .collect();
+        Fleet {
+            sc,
+            q: EventQueue::new(),
+            devices,
+            pairs,
+            replans: 0,
+        }
+    }
+
+    fn run(&mut self) -> FleetReport {
+        for i in 0..self.pairs.len() {
+            self.q.schedule(
+                Seconds::new(i as f64 * ASSOC_STAGGER.seconds()),
+                Kind::Associate.rank(),
+                i as u32,
+                Ev {
+                    pair: i,
+                    kind: Kind::Associate,
+                },
+            );
+        }
+        let mut last = Seconds::ZERO;
+        let mut truncated = false;
+        while let Some(ev) = self.q.pop() {
+            if ev.time > self.sc.horizon {
+                truncated = true;
+                break;
+            }
+            last = ev.time;
+            self.handle(ev.event.pair, ev.event.kind, ev.time);
+        }
+        let end_time = if truncated { self.sc.horizon } else { last };
+        FleetReport {
+            horizon: self.sc.horizon,
+            end_time,
+            events: self.q.delivered(),
+            replans: self.replans,
+            pair_bits: self.pairs.iter().map(|p| p.bits).collect(),
+            pair_mode_bits: self.pairs.iter().map(|p| p.mode_bits).collect(),
+            pair_dead_at: self.pairs.iter().map(|p| p.dead_at).collect(),
+            device_spent: self.devices.iter().map(|d| d.spent).collect(),
+            device_dead_at: self.devices.iter().map(|d| d.dead_at).collect(),
+            device_carrier_time: self.devices.iter().map(|d| d.carrier_time).collect(),
+        }
+    }
+
+    fn handle(&mut self, p: usize, kind: Kind, now: Seconds) {
+        if self.pairs[p].fsm.is_dead() {
+            return; // stale event for a torn-down session
+        }
+        // A shared device may have died serving another pair since this
+        // event was scheduled.
+        let (tx, rx) = (self.sc.pairs[p].tx, self.sc.pairs[p].rx);
+        if kind != Kind::QuantumDone
+            && (self.devices[tx].battery.is_dead() || self.devices[rx].battery.is_dead())
+        {
+            self.kill(p, now);
+            return;
+        }
+        match kind {
+            Kind::Associate => self.on_associate(p, now),
+            Kind::StatusExchanged => self.on_status_exchanged(p, now),
+            Kind::ProbesDone => self.on_probes_done(p, now),
+            Kind::Replan => self.on_replan(p, now),
+            Kind::QuantumDone => self.on_quantum_done(p, now),
+        }
+    }
+
+    fn on_associate(&mut self, p: usize, now: Seconds) {
+        self.pairs[p]
+            .fsm
+            .on(FsmEvent::Associated)
+            .expect("Init accepts Associated");
+        let mut dt = Seconds::ZERO;
+        if self.sc.control_overhead {
+            // Status rides the active link at its top rate: each side sends
+            // its own 256-bit status and receives the peer's.
+            let pp = self
+                .sc
+                .ch
+                .power(Mode::Active, Rate::Mbps1)
+                .expect("active 1 Mbps is always characterized");
+            let t = pp.rate.bps().time_for_bits(STATUS_BITS);
+            let e = pp.tx * t + pp.rx * t;
+            let (tx, rx) = (self.sc.pairs[p].tx, self.sc.pairs[p].rx);
+            self.charge(tx, e, now);
+            self.charge(rx, e, now);
+            dt = pp.rate.bps().time_for_bits(2.0 * STATUS_BITS);
+            if self.devices[tx].battery.is_dead() || self.devices[rx].battery.is_dead() {
+                self.kill(p, now);
+                return;
+            }
+        }
+        self.schedule(now + dt, p, Kind::StatusExchanged);
+    }
+
+    fn on_status_exchanged(&mut self, p: usize, now: Seconds) {
+        self.pairs[p]
+            .fsm
+            .on(FsmEvent::StatusExchanged)
+            .expect("ExchangingStatus accepts StatusExchanged");
+        // `None` means probing drained a battery; the pair is already killed.
+        if let Some(airtime) = self.charge_probe_round(p, now) {
+            self.schedule(now + airtime, p, Kind::ProbesDone);
+        }
+    }
+
+    fn on_probes_done(&mut self, p: usize, now: Seconds) {
+        if !self.install_plan(p, now) {
+            return;
+        }
+        self.schedule_quantum(p, now);
+        if !self.pairs[p].fsm.is_dead() {
+            self.schedule(now + self.sc.replan_interval, p, Kind::Replan);
+        }
+    }
+
+    fn on_replan(&mut self, p: usize, now: Seconds) {
+        self.replans += 1;
+        self.pairs[p]
+            .fsm
+            .on(FsmEvent::RecomputeDue)
+            .expect("Braiding accepts RecomputeDue");
+        // Re-plan probes are charged but modelled as instantaneous: the
+        // braid's quantum in flight keeps the link busy while the control
+        // exchange piggybacks (the bring-up probe round does take airtime).
+        if self.charge_probe_round(p, now).is_none() {
+            return;
+        }
+        if !self.install_plan(p, now) {
+            // No viable mode any more: the in-flight quantum dies with the
+            // session (its completion event will find a dead FSM).
+            self.pairs[p].pending = None;
+            return;
+        }
+        self.schedule(now + self.sc.replan_interval, p, Kind::Replan);
+    }
+
+    fn on_quantum_done(&mut self, p: usize, now: Seconds) {
+        self.pairs[p]
+            .fsm
+            .on(FsmEvent::PacketDelivered)
+            .expect("Braiding accepts PacketDelivered");
+        let pending = self.pairs[p]
+            .pending
+            .take()
+            .expect("a quantum was in flight");
+        let (tx, rx) = (self.sc.pairs[p].tx, self.sc.pairs[p].rx);
+        self.charge(tx, pending.e_tx, now);
+        self.charge(rx, pending.e_rx, now);
+        self.pairs[p].bits += pending.bits;
+        for (mode, bits, on_tx, on_rx, airtime) in &pending.slices {
+            for (m, b) in self.pairs[p].mode_bits.iter_mut() {
+                if m == mode {
+                    *b += bits;
+                }
+            }
+            if *on_tx {
+                self.devices[tx].carrier_time += *airtime;
+            }
+            if *on_rx {
+                self.devices[rx].carrier_time += *airtime;
+            }
+        }
+        if pending.last || self.devices[tx].battery.is_dead() || self.devices[rx].battery.is_dead()
+        {
+            self.kill(p, now);
+            return;
+        }
+        self.schedule_quantum(p, now);
+    }
+
+    /// Charge one probe round (all modes, both sides) if control overhead
+    /// is on. Returns the probe airtime, or `None` when it killed the pair.
+    fn charge_probe_round(&mut self, p: usize, now: Seconds) -> Option<Seconds> {
+        if !self.sc.control_overhead {
+            return Some(Seconds::ZERO);
+        }
+        let d = self.pair_distance(p, now);
+        let report = LinkProber::ideal().probe(&self.sc.ch, d);
+        let (tx, rx) = (self.sc.pairs[p].tx, self.sc.pairs[p].rx);
+        self.charge(tx, report.energy_initiator, now);
+        self.charge(rx, report.energy_responder, now);
+        if self.devices[tx].battery.is_dead() || self.devices[rx].battery.is_dead() {
+            self.kill(p, now);
+            return None;
+        }
+        Some(report.airtime)
+    }
+
+    /// Probe outcome → plan installation. Returns `false` when the pair
+    /// died (no viable mode).
+    fn install_plan(&mut self, p: usize, now: Seconds) -> bool {
+        let d = self.pair_distance(p, now);
+        let interference = self.interference_for(p);
+        let mut opts = options_under(&self.sc.ch, d, interference);
+        if let Some(pin) = self.sc.pairs[p].pinned_mode {
+            opts.retain(|o| o.mode == pin);
+        }
+        if opts.is_empty() {
+            self.pairs[p]
+                .fsm
+                .on(FsmEvent::ProbesEmpty)
+                .expect("Probing accepts ProbesEmpty");
+            self.pairs[p].dead_at = Some(now);
+            return false;
+        }
+        let (tx, rx) = (self.sc.pairs[p].tx, self.sc.pairs[p].rx);
+        let plan = solve_memo(
+            &opts,
+            self.devices[tx].battery.remaining(),
+            self.devices[rx].battery.remaining(),
+        )
+        .expect("non-empty options always yield a plan");
+        self.pairs[p]
+            .fsm
+            .on(FsmEvent::ProbesOk)
+            .expect("Probing accepts ProbesOk");
+        self.pairs[p].plan = Some(plan);
+        true
+    }
+
+    /// Schedule the next braid quantum under the installed plan. Kills the
+    /// pair instead when not even one bit is affordable.
+    fn schedule_quantum(&mut self, p: usize, now: Seconds) {
+        let plan = self.pairs[p].plan.clone().expect("braiding under a plan");
+        let (tx, rx) = (self.sc.pairs[p].tx, self.sc.pairs[p].rx);
+
+        // Per-bit costs with the same amortized Table 5 switching charge as
+        // `mac::sim::simulate_braidio`.
+        let spp = switches_per_packet(&plan);
+        let switch_bits = self.sc.packet_bits * self.sc.quantum_packets;
+        let (mut sw_tx, mut sw_rx) = (0.0, 0.0);
+        if plan.allocations.len() == 2 {
+            for a in &plan.allocations {
+                sw_tx += self
+                    .sc
+                    .switching
+                    .cost(a.option.mode, Role::Transmitter)
+                    .joules()
+                    / 2.0;
+                sw_rx += self
+                    .sc
+                    .switching
+                    .cost(a.option.mode, Role::Receiver)
+                    .joules()
+                    / 2.0;
+            }
+        }
+        let c_tx = plan.tx_cost.joules_per_bit() + spp * sw_tx / switch_bits;
+        let c_rx = plan.rx_cost.joules_per_bit() + spp * sw_rx / switch_bits;
+
+        let affordable = (self.devices[tx].battery.remaining().joules() / c_tx)
+            .min(self.devices[rx].battery.remaining().joules() / c_rx);
+        let quantum_bits = switch_bits;
+        let bits = quantum_bits.min(affordable);
+        if !bits.is_finite() || bits < 1.0 {
+            self.kill(p, now);
+            return;
+        }
+        let last = affordable <= quantum_bits;
+
+        let mut airtime = Seconds::ZERO;
+        let mut slices = Vec::with_capacity(plan.allocations.len());
+        for a in &plan.allocations {
+            let slice_bits = bits * a.fraction;
+            let dt = a.option.rate.bps().time_for_bits(slice_bits);
+            let (on_tx, on_rx) = a.option.mode.carrier_at();
+            slices.push((a.option.mode, slice_bits, on_tx, on_rx, dt));
+            airtime += dt;
+        }
+        let finish = self.finish_time(p, now, airtime);
+        self.pairs[p].pending = Some(PendingQuantum {
+            bits,
+            e_tx: Joules::new(bits * c_tx),
+            e_rx: Joules::new(bits * c_rx),
+            slices,
+            last,
+        });
+        self.schedule(finish, p, Kind::QuantumDone);
+    }
+
+    /// When a quantum started at `start` with `airtime` on-air seconds
+    /// finishes, given the pair's transmit windows. O(1): whole TDMA cycles
+    /// are skipped arithmetically.
+    fn finish_time(&self, p: usize, start: Seconds, airtime: Seconds) -> Seconds {
+        let arb = self.sc.arbitration;
+        let n = self.pairs.len();
+        let mut t = arb.next_transmit_at(p, n, start);
+        let mut left = airtime.seconds();
+        let Some(we) = arb.window_end(p, n, t) else {
+            return Seconds::new(t.seconds() + left);
+        };
+        // Finish inside the current (possibly partial) window?
+        let usable = we.seconds() - t.seconds();
+        if left <= usable {
+            return Seconds::new(t.seconds() + left);
+        }
+        left -= usable;
+        t = arb.next_transmit_at(p, n, we);
+        // From here every window is a full slot; skip whole ones at once.
+        let Arbitration::TdmaRoundRobin { slot } = arb else {
+            unreachable!("only TDMA has bounded windows");
+        };
+        let s = slot.seconds();
+        let period = s * n as f64;
+        let full = (left / s).floor();
+        if full >= 1.0 {
+            t = Seconds::new(t.seconds() + full * period);
+            left -= full * s;
+        }
+        if left >= s {
+            // Floating-point edge: `left` landed exactly on a slot boundary.
+            t = Seconds::new(t.seconds() + period);
+            left -= s;
+        }
+        Seconds::new(t.seconds() + left)
+    }
+
+    /// Worst-case foreign-carrier power at pair `p`'s receiver.
+    fn interference_for(&self, p: usize) -> Watts {
+        if !self.sc.arbitration.carriers_overlap() {
+            return Watts::ZERO;
+        }
+        let victim = self.devices[self.sc.pairs[p].rx].pos;
+        let mut sources = Vec::new();
+        for (qi, qp) in self.sc.pairs.iter().enumerate() {
+            if qi == p || self.pairs[qi].fsm.is_dead() {
+                continue;
+            }
+            let a = self.devices[qp.tx].pos;
+            let b = self.devices[qp.rx].pos;
+            let pos = if a.distance(victim) <= b.distance(victim) {
+                a
+            } else {
+                b
+            };
+            sources.push(CarrierSource {
+                pos,
+                rf: self.sc.ch.carrier_rf,
+                relation: self.sc.arbitration.relation(p, qi),
+            });
+        }
+        interference_at(&self.sc.ch, victim, &sources)
+    }
+
+    /// The pair's current separation; a mobile receiver is displaced along
+    /// the pair's axis (positions refresh lazily, at probe/re-plan times).
+    fn pair_distance(&mut self, p: usize, now: Seconds) -> Meters {
+        let (tx, rx) = (self.sc.pairs[p].tx, self.sc.pairs[p].rx);
+        match self.sc.pairs[p].walk {
+            None => self.devices[tx].pos.distance(self.devices[rx].pos),
+            Some(walk) => {
+                let mut w = walk;
+                let d = w.distance_at(now);
+                let dir = self.pairs[p].dir;
+                self.devices[rx].pos = self.devices[tx].pos.offset_along(dir, d);
+                d
+            }
+        }
+    }
+
+    fn charge(&mut self, dev: usize, e: Joules, now: Seconds) {
+        let d = &mut self.devices[dev];
+        d.spent += e;
+        d.battery.draw(e);
+        if d.battery.is_dead() && d.dead_at.is_none() {
+            d.dead_at = Some(now);
+        }
+    }
+
+    fn kill(&mut self, p: usize, now: Seconds) {
+        if !self.pairs[p].fsm.is_dead() {
+            self.pairs[p]
+                .fsm
+                .on(FsmEvent::BatteryDead)
+                .expect("live states accept BatteryDead");
+        }
+        if self.pairs[p].dead_at.is_none() {
+            self.pairs[p].dead_at = Some(now);
+        }
+        self.pairs[p].pending = None;
+    }
+
+    fn schedule(&mut self, t: Seconds, p: usize, kind: Kind) {
+        self.q
+            .schedule(t, kind.rank(), p as u32, Ev { pair: p, kind });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{DeviceSpec, FleetScenario, PairSpec};
+
+    fn small_pair(arb: Arbitration) -> FleetScenario {
+        FleetScenario::independent_pairs(1, Meters::new(0.5), Meters::new(5.0), 0.003, 0.03, arb)
+    }
+
+    #[test]
+    fn single_pair_moves_bits_and_dies_proportionally() {
+        let sc = small_pair(Arbitration::Uncoordinated).with_horizon(Seconds::new(1e9));
+        let r = run_fleet(&sc);
+        assert!(r.pair_bits[0] > 0.0);
+        // Both batteries end near empty: power-proportional braiding.
+        assert!(r.pair_dead_at[0].is_some());
+        let spent0 = r.device_spent[0].joules();
+        let cap0 = sc.devices[0].battery.joules();
+        assert!(spent0 / cap0 > 0.99, "tx drained {}", spent0 / cap0);
+    }
+
+    #[test]
+    fn run_is_bit_deterministic() {
+        let sc = FleetScenario::independent_pairs(
+            4,
+            Meters::new(0.5),
+            Meters::new(4.0),
+            0.003,
+            0.03,
+            Arbitration::TdmaRoundRobin {
+                slot: Seconds::new(0.25),
+            },
+        )
+        .with_horizon(Seconds::new(120.0));
+        let a = run_fleet(&sc);
+        let b = run_fleet(&sc);
+        assert_eq!(a.events, b.events);
+        for (x, y) in a.pair_bits.iter().zip(&b.pair_bits) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.device_spent.iter().zip(&b.device_spent) {
+            assert_eq!(x.joules().to_bits(), y.joules().to_bits());
+        }
+    }
+
+    #[test]
+    fn uncoordinated_neighbours_lose_backscatter_at_any_separation() {
+        // Two pairs, carriers always up: the foreign carrier strips
+        // backscatter at *every* spacing (the two-way d⁴ link has no
+        // protection distance, §7 / Table 3), while passive — one-way —
+        // only dies inside its finite protection distance.
+        for spacing in [2.0, 10.0, 50.0] {
+            let sc = FleetScenario::independent_pairs(
+                2,
+                Meters::new(0.5),
+                Meters::new(spacing),
+                1.0,
+                1.0,
+                Arbitration::Uncoordinated,
+            )
+            .with_horizon(Seconds::new(30.0));
+            let r = run_fleet(&sc);
+            assert!(r.total_bits() > 0.0, "active mode still works");
+            assert_eq!(r.mode_share(Mode::Backscatter), 0.0, "spacing {spacing}");
+            if spacing <= 2.0 {
+                assert_eq!(r.mode_share(Mode::Passive), 0.0, "spacing {spacing}");
+            }
+        }
+    }
+
+    #[test]
+    fn tdma_restores_the_braid_and_shares_airtime_fairly() {
+        let sc = FleetScenario::independent_pairs(
+            2,
+            Meters::new(0.5),
+            Meters::new(2.0),
+            1.0,
+            1.0,
+            Arbitration::TdmaRoundRobin {
+                slot: Seconds::new(0.25),
+            },
+        )
+        .with_horizon(Seconds::new(60.0));
+        let r = run_fleet(&sc);
+        // Interference-free slots bring the cheap modes back.
+        assert!(r.mode_share(Mode::Backscatter) + r.mode_share(Mode::Passive) > 0.5);
+        assert!(r.fairness() > 0.99, "fairness {}", r.fairness());
+        // Each pair gets about half the airtime's worth of goodput.
+        let per_pair = r.pair_goodput(0);
+        assert!(
+            per_pair > 0.4 * 1e6 && per_pair < 0.55 * 1e6,
+            "goodput {per_pair}"
+        );
+    }
+
+    #[test]
+    fn star_hub_carries_the_carrier_burden() {
+        let sc = FleetScenario::star(
+            4,
+            Meters::new(0.5),
+            99.5,
+            0.003,
+            Arbitration::TdmaRoundRobin {
+                slot: Seconds::new(0.25),
+            },
+        )
+        .with_horizon(Seconds::new(120.0));
+        let r = run_fleet(&sc);
+        assert!(r.total_bits() > 0.0);
+        // Tags stream to the hub; with a huge hub battery the braid leans
+        // on backscatter, so the hub's carrier runs while tags stay quiet.
+        assert!(r.carrier_duty(0) > 0.0);
+        for tag in 1..=4 {
+            assert!(
+                r.carrier_duty(tag) <= r.carrier_duty(0) + 1e-12,
+                "tag {tag} duty {} vs hub {}",
+                r.carrier_duty(tag),
+                r.carrier_duty(0)
+            );
+        }
+    }
+
+    #[test]
+    fn shared_device_pairs_cannot_run_uncoordinated() {
+        // An uncoordinated star: every tag sees the hub's other sessions at
+        // the near-field floor, so the detector modes vanish entirely.
+        let sc = FleetScenario::star(3, Meters::new(0.5), 99.5, 0.003, Arbitration::Uncoordinated)
+            .with_horizon(Seconds::new(30.0));
+        let r = run_fleet(&sc);
+        assert_eq!(r.mode_share(Mode::Backscatter), 0.0);
+        assert_eq!(r.mode_share(Mode::Passive), 0.0);
+    }
+
+    #[test]
+    fn horizon_truncates_cleanly() {
+        let sc = small_pair(Arbitration::Uncoordinated).with_horizon(Seconds::new(1.0));
+        let r = run_fleet(&sc);
+        assert_eq!(r.end_time, Seconds::new(1.0));
+        let long =
+            run_fleet(&small_pair(Arbitration::Uncoordinated).with_horizon(Seconds::new(2.0)));
+        // The 1 s run is a prefix of the 2 s run.
+        assert!(r.pair_bits[0] <= long.pair_bits[0]);
+        assert!(r.events <= long.events);
+    }
+
+    #[test]
+    fn mobile_pair_loses_backscatter_as_it_walks_out() {
+        use braidio_mac::mobility::LinearWalk;
+        let mut sc = small_pair(Arbitration::Uncoordinated).with_horizon(Seconds::new(1e9));
+        sc.pairs[0].walk = Some(LinearWalk {
+            start: Meters::new(0.5),
+            end: Meters::new(3.0),
+            duration: Seconds::new(60.0),
+        });
+        sc.replan_interval = Seconds::new(1.0);
+        let r = run_fleet(&sc);
+        let st = run_fleet(&small_pair(Arbitration::Uncoordinated).with_horizon(Seconds::new(1e9)));
+        assert!(r.total_bits() > 0.0);
+        assert!(
+            r.total_bits() < st.total_bits(),
+            "walking out must cost bits: {} vs {}",
+            r.total_bits(),
+            st.total_bits()
+        );
+    }
+
+    #[test]
+    fn dead_device_kills_every_pair_that_uses_it() {
+        // Two tags share a tiny hub; when the hub battery dies both pairs
+        // must end.
+        let hub = DeviceSpec {
+            pos: Point::ORIGIN,
+            battery: Joules::from_watt_hours(1e-5),
+        };
+        let t1 = DeviceSpec {
+            pos: Point::new(0.5, 0.0),
+            battery: Joules::from_watt_hours(1.0),
+        };
+        let t2 = DeviceSpec {
+            pos: Point::new(-0.5, 0.0),
+            battery: Joules::from_watt_hours(1.0),
+        };
+        let sc = FleetScenario::new(
+            vec![hub, t1, t2],
+            vec![PairSpec::braided(1, 0), PairSpec::braided(2, 0)],
+            Arbitration::TdmaRoundRobin {
+                slot: Seconds::new(0.1),
+            },
+        )
+        .with_horizon(Seconds::new(1e9));
+        let r = run_fleet(&sc);
+        assert!(r.device_dead_at[0].is_some(), "hub must die");
+        assert!(r.pair_dead_at.iter().all(|d| d.is_some()));
+    }
+}

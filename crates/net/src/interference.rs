@@ -1,0 +1,232 @@
+//! Foreign-carrier interference in a fleet, generalizing `mac::coexistence`
+//! from one interferer to many.
+//!
+//! Every concurrently-transmitting foreign pair parks a CW carrier in the
+//! victim's band. Each arriving carrier is attenuated by free-space path
+//! loss, the victim's antenna and detector front end, and the
+//! [`ChannelRelation`] coupling factor (co-channel carriers are mostly
+//! removed as quasi-DC; adjacent-channel beats land squarely in the
+//! baseband — the Table 3 soft spot). The couplings sum noncoherently into
+//! one equivalent noise power at the detector.
+//!
+//! Interference only degrades the *detector-based* modes (passive receiver
+//! and backscatter). The active radio is a channel-filtered coherent
+//! receiver, so a foreign carrier on another channel is rejected by its
+//! IF filtering — the same simplification `mac::coexistence` makes.
+
+use braidio_mac::coexistence::ChannelRelation;
+use braidio_mac::offload::LinkOption;
+use braidio_phy::ber::ber_ook_noncoherent_fast;
+use braidio_radio::characterization::{Characterization, Rate, OPERATIONAL_BER};
+use braidio_radio::Mode;
+use braidio_rfsim::geometry::Point;
+use braidio_rfsim::pathloss::free_space_gain;
+use braidio_units::{Meters, Watts};
+
+/// One foreign CW carrier, positioned in the room.
+#[derive(Debug, Clone, Copy)]
+pub struct CarrierSource {
+    /// Where the carrier radiates from.
+    pub pos: Point,
+    /// Its RF output power.
+    pub rf: Watts,
+    /// Channel relationship to the victim's receiver.
+    pub relation: ChannelRelation,
+}
+
+/// Total foreign-carrier power acting as noise at a victim detector at
+/// `victim`, given the victim pair's characterization (noncoherent power
+/// sum over sources).
+pub fn interference_at(ch: &Characterization, victim: Point, sources: &[CarrierSource]) -> Watts {
+    sources
+        .iter()
+        .map(|s| {
+            s.rf.gained(free_space_gain(s.pos.distance(victim), ch.budget.frequency))
+                .gained(ch.budget.rx_antenna_gain)
+                .gained(-ch.budget.detector_frontend_loss)
+                .gained(s.relation.noise_coupling())
+        })
+        .sum()
+}
+
+/// Victim SNR (linear) for a detector-based mode with `interference` folded
+/// into the noise floor.
+fn victim_gamma(
+    ch: &Characterization,
+    mode: Mode,
+    rate: Rate,
+    d: Meters,
+    interference: Watts,
+) -> f64 {
+    let rx = ch.received_power(mode, d);
+    let noise = ch.detector_noise(mode, rate).expect("detector-based mode") + interference;
+    rx / noise
+}
+
+/// Is `mode`/`rate` operational at pair separation `d` under the given
+/// interference power? Reduces exactly to [`Characterization::available`]
+/// when the interference is zero.
+pub fn available_under(
+    ch: &Characterization,
+    mode: Mode,
+    rate: Rate,
+    d: Meters,
+    interference: Watts,
+) -> bool {
+    if ch.power(mode, rate).is_none() {
+        return false;
+    }
+    match mode {
+        // Channel-filtered coherent receiver: unaffected by a foreign CW.
+        Mode::Active => ch.available(mode, rate, d),
+        Mode::Passive | Mode::Backscatter => {
+            if interference.watts() <= 0.0 {
+                return ch.available(mode, rate, d);
+            }
+            ber_ook_noncoherent_fast(victim_gamma(ch, mode, rate, d, interference))
+                <= OPERATIONAL_BER
+        }
+    }
+}
+
+/// The fastest operational rate of a mode under interference, if any.
+pub fn max_rate_under(
+    ch: &Characterization,
+    mode: Mode,
+    d: Meters,
+    interference: Watts,
+) -> Option<Rate> {
+    Rate::ALL
+        .into_iter()
+        .rev()
+        .find(|&r| available_under(ch, mode, r, d, interference))
+}
+
+/// The operating options a pair can plan over at separation `d` with a
+/// total foreign-carrier power `interference` at its detector — the
+/// interference-aware counterpart of [`braidio_mac::offload::options_at`],
+/// to which it reduces exactly when `interference` is zero.
+pub fn options_under(ch: &Characterization, d: Meters, interference: Watts) -> Vec<LinkOption> {
+    let mut opts = Vec::new();
+    for mode in Mode::ALL {
+        if let Some(rate) = max_rate_under(ch, mode, d, interference) {
+            let (tx_cost, rx_cost) = ch
+                .energy_per_bit(mode, rate)
+                .expect("rate came from the table");
+            opts.push(LinkOption {
+                mode,
+                rate,
+                tx_cost,
+                rx_cost,
+            });
+        }
+    }
+    opts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braidio_mac::coexistence::Coexistence;
+    use braidio_mac::offload::options_at;
+
+    fn ch() -> Characterization {
+        Characterization::braidio()
+    }
+
+    #[test]
+    fn zero_interference_reduces_to_options_at() {
+        let ch = ch();
+        for d in [0.3, 0.5, 1.0, 2.0, 3.0, 4.8] {
+            let base = options_at(&ch, Meters::new(d));
+            let under = options_under(&ch, Meters::new(d), Watts::ZERO);
+            assert_eq!(base.len(), under.len(), "at {d} m");
+            for (a, b) in base.iter().zip(&under) {
+                assert_eq!(a, b, "at {d} m");
+            }
+        }
+    }
+
+    #[test]
+    fn single_source_matches_coexistence_model() {
+        // One foreign carrier must reproduce `mac::coexistence` exactly:
+        // same arriving power, same victim availability.
+        let ch = ch();
+        for d_int in [1.0, 5.0, 20.0, 80.0] {
+            let co = Coexistence::braidio_neighbor(Meters::new(d_int));
+            let src = CarrierSource {
+                pos: Point::new(d_int, 0.0),
+                rf: co.interferer_rf,
+                relation: co.relation,
+            };
+            let i = interference_at(&ch, Point::ORIGIN, &[src]);
+            let expect = co.interference_at_detector();
+            assert!(
+                (i.watts() / expect.watts() - 1.0).abs() < 1e-12,
+                "at {d_int} m: {i} vs {expect}"
+            );
+            for mode in [Mode::Passive, Mode::Backscatter] {
+                assert_eq!(
+                    max_rate_under(&ch, mode, Meters::new(1.0), i),
+                    co.victim_max_rate(mode, Meters::new(1.0)),
+                    "{mode} with neighbour at {d_int} m"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sources_sum_noncoherently() {
+        let ch = ch();
+        let one = CarrierSource {
+            pos: Point::new(5.0, 0.0),
+            rf: Watts::from_dbm(13.0),
+            relation: ChannelRelation::AdjacentChannel,
+        };
+        let two = CarrierSource {
+            pos: Point::new(0.0, 5.0),
+            rf: Watts::from_dbm(13.0),
+            relation: ChannelRelation::AdjacentChannel,
+        };
+        let i1 = interference_at(&ch, Point::ORIGIN, &[one]);
+        let i12 = interference_at(&ch, Point::ORIGIN, &[one, two]);
+        assert!((i12.watts() / i1.watts() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn active_mode_is_interference_immune() {
+        let ch = ch();
+        let jam = Watts::from_dbm(0.0); // enormous at the detector scale
+        assert!(available_under(
+            &ch,
+            Mode::Active,
+            Rate::Mbps1,
+            Meters::new(1.0),
+            jam
+        ));
+        assert!(!available_under(
+            &ch,
+            Mode::Backscatter,
+            Rate::Kbps10,
+            Meters::new(0.3),
+            jam
+        ));
+    }
+
+    #[test]
+    fn interference_strips_backscatter_before_passive() {
+        // A 10 m adjacent-channel neighbour: backscatter (two-way signal)
+        // dies first, passive (one-way) survives longer.
+        let ch = ch();
+        let src = CarrierSource {
+            pos: Point::new(10.0, 0.0),
+            rf: Watts::from_dbm(13.0),
+            relation: ChannelRelation::AdjacentChannel,
+        };
+        let i = interference_at(&ch, Point::ORIGIN, &[src]);
+        let opts = options_under(&ch, Meters::new(1.0), i);
+        let modes: Vec<Mode> = opts.iter().map(|o| o.mode).collect();
+        assert!(!modes.contains(&Mode::Backscatter), "{modes:?}");
+        assert!(modes.contains(&Mode::Active));
+    }
+}

@@ -1,0 +1,269 @@
+//! The deterministic discrete-event simulation kernel.
+//!
+//! A binary-heap event queue whose delivery order is a *total* order over
+//! the key `(time, seq, device)`:
+//!
+//! * `time` — virtual time of the event (finite, non-decreasing);
+//! * `seq` — a caller-assigned sequence class that ranks same-instant
+//!   events (the network engine uses the event kind's protocol rank, so a
+//!   replan always lands before the quantum it reshapes);
+//! * `device` — the owning device, breaking ties between peers that act at
+//!   the same instant in the same phase.
+//!
+//! Because every key component is semantic — none is an insertion counter —
+//! the delivery order of a set of uniquely-keyed events is invariant under
+//! the order they were scheduled in, under thread count, and under host.
+//! (An internal monotonic counter exists only as a last-resort tie-break
+//! so that duplicate keys still pop in a reproducible order; engines that
+//! want full insertion-order invariance must keep keys unique, which the
+//! fleet engine does by construction: one pending event per (pair, kind).)
+//!
+//! `f64` times are compared with `total_cmp`, so the order is total even in
+//! the presence of `-0.0`; non-finite times are rejected at scheduling.
+
+use braidio_units::Seconds;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Index of a device in the fleet (also used for event tie-breaking).
+pub type DeviceId = u32;
+
+/// One scheduled event.
+#[derive(Debug, Clone, Copy)]
+pub struct Scheduled<E> {
+    /// Virtual delivery time.
+    pub time: Seconds,
+    /// Same-instant ordering class (lower delivers first).
+    pub seq: u64,
+    /// The device this event belongs to (final semantic tie-break).
+    pub device: DeviceId,
+    /// The payload.
+    pub event: E,
+    /// Insertion counter: last-resort tie-break for *duplicate* keys only.
+    stamp: u64,
+}
+
+impl<E> Scheduled<E> {
+    /// The total-order key `(time, seq, device, stamp)`.
+    fn key(&self) -> (u64, u64, DeviceId, u64) {
+        // Non-negative finite f64s order identically to their IEEE bits.
+        (
+            self.time.seconds().to_bits(),
+            self.seq,
+            self.device,
+            self.stamp,
+        )
+    }
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, we want the earliest event.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// The event queue: a priority queue in virtual time.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: Seconds,
+    stamp: u64,
+    delivered: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at `t = 0`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: Seconds::ZERO,
+            stamp: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Current virtual time (the time of the last delivered event).
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Schedule `event` at `time` with ordering class `seq` for `device`.
+    ///
+    /// Panics if `time` is non-finite, negative, or in the past — a DES
+    /// must never travel backwards.
+    pub fn schedule(&mut self, time: Seconds, seq: u64, device: DeviceId, event: E) {
+        assert!(
+            time.seconds().is_finite() && time.seconds() >= 0.0,
+            "event time must be finite and non-negative, got {time}"
+        );
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < now {}",
+            self.now
+        );
+        let stamp = self.stamp;
+        self.stamp += 1;
+        self.heap.push(Scheduled {
+            time,
+            seq,
+            device,
+            event,
+            stamp,
+        });
+    }
+
+    /// Deliver the next event (earliest key), advancing virtual time.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.time >= self.now);
+        self.now = ev.time;
+        self.delivered += 1;
+        Some(ev)
+    }
+
+    /// The delivery time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Seconds> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut EventQueue<u32>) -> Vec<(f64, u64, DeviceId, u32)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push((e.time.seconds(), e.seq, e.device, e.event));
+        }
+        out
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds::new(3.0), 0, 0, 30);
+        q.schedule(Seconds::new(1.0), 0, 0, 10);
+        q.schedule(Seconds::new(2.0), 0, 0, 20);
+        let events: Vec<u32> = drain(&mut q).into_iter().map(|e| e.3).collect();
+        assert_eq!(events, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn same_time_orders_by_seq_then_device() {
+        let mut q = EventQueue::new();
+        let t = Seconds::new(1.0);
+        q.schedule(t, 2, 0, 0);
+        q.schedule(t, 1, 5, 1);
+        q.schedule(t, 1, 2, 2);
+        q.schedule(t, 0, 9, 3);
+        let events: Vec<u32> = drain(&mut q).into_iter().map(|e| e.3).collect();
+        assert_eq!(events, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn order_invariant_under_insertion_order() {
+        // The kernel's core contract: with unique keys, the pop sequence
+        // does not depend on the push sequence.
+        let keys: Vec<(f64, u64, DeviceId)> = vec![
+            (0.5, 1, 0),
+            (0.5, 0, 3),
+            (0.5, 0, 1),
+            (1.0, 4, 2),
+            (0.25, 7, 9),
+            (1.0, 4, 1),
+            (2.0, 0, 0),
+        ];
+        let run = |order: &[usize]| {
+            let mut q = EventQueue::new();
+            for &i in order {
+                let (t, s, d) = keys[i];
+                q.schedule(Seconds::new(t), s, d, i as u32);
+            }
+            drain(&mut q)
+        };
+        let forward: Vec<usize> = (0..keys.len()).collect();
+        let reverse: Vec<usize> = (0..keys.len()).rev().collect();
+        let interleaved = vec![3, 0, 6, 1, 4, 2, 5];
+        let a = run(&forward);
+        let b = run(&reverse);
+        let c = run(&interleaved);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn time_advances_with_delivery() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds::new(2.0), 0, 0, ());
+        q.schedule(Seconds::new(1.0), 0, 0, ());
+        assert_eq!(q.now(), Seconds::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Seconds::new(1.0));
+        q.pop();
+        assert_eq!(q.now(), Seconds::new(2.0));
+        assert_eq!(q.delivered(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn rejects_scheduling_into_the_past() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds::new(5.0), 0, 0, ());
+        q.pop();
+        q.schedule(Seconds::new(1.0), 0, 0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_non_finite_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds::new(f64::NAN), 0, 0, ());
+    }
+
+    #[test]
+    fn duplicate_keys_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Seconds::new(1.0);
+        for i in 0..5u32 {
+            q.schedule(t, 0, 0, i);
+        }
+        let events: Vec<u32> = drain(&mut q).into_iter().map(|e| e.3).collect();
+        assert_eq!(events, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,53 @@
+//! # braidio-net — deterministic multi-device network simulation
+//!
+//! The pairwise engine (`braidio-mac::sim`) answers "how many bits can
+//! *these two* devices move?". This crate scales the question to a room:
+//! N devices with heterogeneous batteries and positions, M traffic pairs,
+//! foreign-carrier interference between them, and a pluggable carrier
+//! arbitration policy — driven by a deterministic discrete-event kernel
+//! whose delivery order is a pure function of the scenario, so every run
+//! is bit-identical regardless of host, thread count, or insertion order.
+//!
+//! * [`kernel`] — the DES event queue with total-order tie-breaking.
+//! * [`interference`] — many-source foreign-carrier coupling, generalizing
+//!   `mac::coexistence` from one interferer to a fleet.
+//! * [`arbitration`] — who may put a carrier up, when (uncoordinated,
+//!   round-robin TDMA, static channel plans).
+//! * [`scenario`] — device placement, batteries, traffic pairs.
+//! * [`engine`] — the event-driven fleet simulator ([`run_fleet`]).
+//! * [`metrics`] — goodput, per-device lifetime, carrier duty, Jain
+//!   fairness ([`FleetReport`]).
+//!
+//! ```
+//! use braidio_net::{run_fleet, Arbitration, FleetScenario};
+//! use braidio_units::{Meters, Seconds};
+//!
+//! // Two pairs sharing a room without coordination: the foreign carriers
+//! // strip the detector-based modes (backscatter, passive) at any
+//! // separation, exactly as the §7 coexistence analysis predicts.
+//! let sc = FleetScenario::independent_pairs(
+//!     2,
+//!     Meters::new(0.5),
+//!     Meters::new(10.0),
+//!     1.0,
+//!     1.0,
+//!     Arbitration::Uncoordinated,
+//! )
+//! .with_horizon(Seconds::new(10.0));
+//! let report = run_fleet(&sc);
+//! assert!(report.total_bits() > 0.0);
+//! assert_eq!(report.mode_share(braidio_radio::Mode::Backscatter), 0.0);
+//! ```
+
+pub mod arbitration;
+pub mod engine;
+pub mod interference;
+pub mod kernel;
+pub mod metrics;
+pub mod scenario;
+
+pub use arbitration::Arbitration;
+pub use engine::run_fleet;
+pub use kernel::{DeviceId, EventQueue};
+pub use metrics::{jain_fairness, FleetReport};
+pub use scenario::{DeviceSpec, FleetScenario, PairSpec};

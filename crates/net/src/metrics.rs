@@ -1,0 +1,127 @@
+//! Fleet-level results: per-pair goodput, per-device lifetime and carrier
+//! duty, and the Jain fairness index over the fleet.
+
+use braidio_radio::Mode;
+use braidio_units::{Joules, Seconds};
+
+/// Jain's fairness index over a set of allocations:
+/// `(Σxᵢ)² / (n · Σxᵢ²)`, in `(0, 1]`. An all-equal fleet scores 1; a
+/// fleet where one pair hogs everything scores `1/n`. All-zero (nothing
+/// moved at all) is defined as perfectly fair.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+/// The outcome of one fleet simulation.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The configured time horizon.
+    pub horizon: Seconds,
+    /// Simulated time: the horizon if the run was truncated by it, else the
+    /// time of the last delivered event.
+    pub end_time: Seconds,
+    /// Events delivered by the kernel.
+    pub events: u64,
+    /// Re-plan rounds executed across all pairs.
+    pub replans: u64,
+    /// Link bits moved per pair.
+    pub pair_bits: Vec<f64>,
+    /// Bits per mode, per pair.
+    pub pair_mode_bits: Vec<[(Mode, f64); 3]>,
+    /// Virtual time at which each pair's session died (battery exhausted or
+    /// no viable mode), if it did.
+    pub pair_dead_at: Vec<Option<Seconds>>,
+    /// Energy drawn from each device.
+    pub device_spent: Vec<Joules>,
+    /// Virtual time at which each device's battery died, if it did.
+    pub device_dead_at: Vec<Option<Seconds>>,
+    /// Time each device spent with its carrier (or active radio) radiating
+    /// during data transfer.
+    pub device_carrier_time: Vec<Seconds>,
+}
+
+impl FleetReport {
+    /// Total link bits moved by the whole fleet.
+    pub fn total_bits(&self) -> f64 {
+        self.pair_bits.iter().sum()
+    }
+
+    /// Goodput of one pair over the simulated interval, bit/s.
+    pub fn pair_goodput(&self, pair: usize) -> f64 {
+        if self.end_time.seconds() <= 0.0 {
+            return 0.0;
+        }
+        self.pair_bits[pair] / self.end_time.seconds()
+    }
+
+    /// Mean goodput per pair, bit/s.
+    pub fn goodput_per_pair(&self) -> f64 {
+        if self.pair_bits.is_empty() {
+            return 0.0;
+        }
+        self.total_bits()
+            / self.end_time.seconds().max(f64::MIN_POSITIVE)
+            / self.pair_bits.len() as f64
+    }
+
+    /// Jain fairness over the pairs' delivered bits.
+    pub fn fairness(&self) -> f64 {
+        jain_fairness(&self.pair_bits)
+    }
+
+    /// The fleet-wide fraction of bits carried by `mode`.
+    pub fn mode_share(&self, mode: Mode) -> f64 {
+        let total = self.total_bits();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let m: f64 = self
+            .pair_mode_bits
+            .iter()
+            .flat_map(|mb| mb.iter())
+            .filter(|(m, _)| *m == mode)
+            .map(|(_, b)| b)
+            .sum();
+        m / total
+    }
+
+    /// How long a device lived: its battery-death time, or the simulated
+    /// interval if it survived.
+    pub fn device_lifetime(&self, device: usize) -> Seconds {
+        self.device_dead_at[device].unwrap_or(self.end_time)
+    }
+
+    /// Fraction of the simulated interval a device spent radiating.
+    pub fn carrier_duty(&self, device: usize) -> f64 {
+        if self.end_time.seconds() <= 0.0 {
+            return 0.0;
+        }
+        (self.device_carrier_time[device] / self.end_time).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_bounds() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+        assert!((jain_fairness(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One hog among n: 1/n.
+        assert!((jain_fairness(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Monotone between the extremes.
+        let a = jain_fairness(&[3.0, 1.0]);
+        let b = jain_fairness(&[2.0, 2.0]);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,247 @@
+//! Fleet scenarios: device placement, batteries, traffic pairs, and the
+//! knobs of a multi-device run.
+//!
+//! Two canonical topologies cover the paper's deployment stories:
+//!
+//! * [`FleetScenario::independent_pairs`] — M unrelated pairs sharing a
+//!   room (the §7 coexistence question at fleet scale): each pair sits on
+//!   its own line position, transmitter and receiver `pair_sep` apart.
+//! * [`FleetScenario::star`] — a hub (reader/phone) with K harvesting tags
+//!   on a ring around it: the sensor-deployment shape where one
+//!   well-provisioned device carries the carrier burden for a fleet of
+//!   coin-cell tags.
+
+use crate::arbitration::Arbitration;
+use braidio_mac::mobility::LinearWalk;
+use braidio_radio::characterization::Characterization;
+use braidio_radio::switching::SwitchingOverhead;
+use braidio_radio::Mode;
+use braidio_rfsim::geometry::{line, ring, Point};
+use braidio_units::{Joules, Meters, Seconds};
+
+/// One device: a position and a battery.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceSpec {
+    /// Placement in the room.
+    pub pos: Point,
+    /// Battery capacity.
+    pub battery: Joules,
+}
+
+/// One traffic pair: `tx` streams to `rx` (unidirectional, the Fig. 15
+/// traffic shape).
+#[derive(Debug, Clone, Copy)]
+pub struct PairSpec {
+    /// Transmitting device (index into the scenario's device list).
+    pub tx: usize,
+    /// Receiving device.
+    pub rx: usize,
+    /// Pin the pair to a single mode instead of braiding (comparators).
+    pub pinned_mode: Option<Mode>,
+    /// Optional mobility: the separation follows this walk (the receiver
+    /// is displaced along the pair's axis; the transmitter stays put).
+    pub walk: Option<LinearWalk>,
+}
+
+impl PairSpec {
+    /// A plain braided pair.
+    pub fn braided(tx: usize, rx: usize) -> Self {
+        PairSpec {
+            tx,
+            rx,
+            pinned_mode: None,
+            walk: None,
+        }
+    }
+}
+
+/// A complete fleet experiment description.
+#[derive(Debug, Clone)]
+pub struct FleetScenario {
+    /// Link characterization shared by every pair (one hardware build).
+    pub ch: Characterization,
+    /// Table 5 mode-switch costs.
+    pub switching: SwitchingOverhead,
+    /// The devices.
+    pub devices: Vec<DeviceSpec>,
+    /// The traffic pairs.
+    pub pairs: Vec<PairSpec>,
+    /// Who may put a carrier up, when.
+    pub arbitration: Arbitration,
+    /// Link-layer packet size in bits (matches `mac::sim`'s default).
+    pub packet_bits: f64,
+    /// Packets per braid quantum (the switch-amortization unit).
+    pub quantum_packets: f64,
+    /// Re-plan cadence per pair.
+    pub replan_interval: Seconds,
+    /// Simulation horizon: events past this instant are not delivered.
+    pub horizon: Seconds,
+    /// Charge association/status/probe control traffic (§4.2 steps 1–2).
+    /// Off for cross-validation against `mac::sim`, which charges neither.
+    pub control_overhead: bool,
+}
+
+impl FleetScenario {
+    /// A scenario with the `mac::sim` defaults for everything but the
+    /// topology.
+    pub fn new(devices: Vec<DeviceSpec>, pairs: Vec<PairSpec>, arbitration: Arbitration) -> Self {
+        let s = FleetScenario {
+            ch: Characterization::braidio(),
+            switching: SwitchingOverhead::table5(),
+            devices,
+            pairs,
+            arbitration,
+            packet_bits: 2120.0,
+            quantum_packets: 100.0,
+            replan_interval: Seconds::new(10.0),
+            horizon: Seconds::new(600.0),
+            control_overhead: true,
+        };
+        s.validate();
+        s
+    }
+
+    /// Same scenario with a different horizon.
+    pub fn with_horizon(mut self, horizon: Seconds) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Same scenario without control-plane energy accounting.
+    pub fn without_control_overhead(mut self) -> Self {
+        self.control_overhead = false;
+        self
+    }
+
+    /// `m` unrelated transmitter→receiver pairs in a row: pair `i`'s
+    /// transmitter at `(i·spacing, 0)`, its receiver `pair_sep` away at
+    /// `(i·spacing, pair_sep)`. Every transmitter holds `tx_wh` watt-hours,
+    /// every receiver `rx_wh`.
+    pub fn independent_pairs(
+        m: usize,
+        pair_sep: Meters,
+        spacing: Meters,
+        tx_wh: f64,
+        rx_wh: f64,
+        arbitration: Arbitration,
+    ) -> Self {
+        let tx_pos = line(Point::ORIGIN, spacing, m);
+        let mut devices = Vec::with_capacity(2 * m);
+        let mut pairs = Vec::with_capacity(m);
+        for (i, p) in tx_pos.into_iter().enumerate() {
+            devices.push(DeviceSpec {
+                pos: p,
+                battery: Joules::from_watt_hours(tx_wh),
+            });
+            devices.push(DeviceSpec {
+                pos: Point::new(p.x, p.y + pair_sep.meters()),
+                battery: Joules::from_watt_hours(rx_wh),
+            });
+            pairs.push(PairSpec::braided(2 * i, 2 * i + 1));
+        }
+        FleetScenario::new(devices, pairs, arbitration)
+    }
+
+    /// A star: one hub at the origin with `k` tags on a ring of radius
+    /// `radius`, each tag streaming (backscatter-friendly direction) to the
+    /// hub. Device 0 is the hub.
+    pub fn star(
+        k: usize,
+        radius: Meters,
+        hub_wh: f64,
+        tag_wh: f64,
+        arbitration: Arbitration,
+    ) -> Self {
+        let mut devices = vec![DeviceSpec {
+            pos: Point::ORIGIN,
+            battery: Joules::from_watt_hours(hub_wh),
+        }];
+        let mut pairs = Vec::with_capacity(k);
+        for (i, p) in ring(Point::ORIGIN, radius, k).into_iter().enumerate() {
+            devices.push(DeviceSpec {
+                pos: p,
+                battery: Joules::from_watt_hours(tag_wh),
+            });
+            pairs.push(PairSpec::braided(i + 1, 0));
+        }
+        FleetScenario::new(devices, pairs, arbitration)
+    }
+
+    /// Panics if a pair references a missing device or loops on itself.
+    pub fn validate(&self) {
+        assert!(!self.devices.is_empty(), "a fleet needs devices");
+        assert!(!self.pairs.is_empty(), "a fleet needs traffic");
+        assert!(
+            self.packet_bits > 0.0 && self.quantum_packets > 0.0,
+            "packetization must be positive"
+        );
+        assert!(
+            self.replan_interval.seconds() > 0.0 && self.horizon.seconds() > 0.0,
+            "timers must be positive"
+        );
+        for (i, p) in self.pairs.iter().enumerate() {
+            assert!(
+                p.tx < self.devices.len() && p.rx < self.devices.len(),
+                "pair {i} references a missing device"
+            );
+            assert!(p.tx != p.rx, "pair {i} loops device {} on itself", p.tx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_pairs_layout() {
+        let s = FleetScenario::independent_pairs(
+            3,
+            Meters::new(0.5),
+            Meters::new(10.0),
+            1.0,
+            1.0,
+            Arbitration::Uncoordinated,
+        );
+        assert_eq!(s.devices.len(), 6);
+        assert_eq!(s.pairs.len(), 3);
+        // Pair separation is pair_sep; neighbouring pairs sit spacing apart.
+        let d01 = s.devices[0].pos.distance(s.devices[1].pos);
+        assert!((d01.meters() - 0.5).abs() < 1e-12);
+        let d02 = s.devices[0].pos.distance(s.devices[2].pos);
+        assert!((d02.meters() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_layout_centers_the_hub() {
+        let s = FleetScenario::star(
+            4,
+            Meters::new(0.5),
+            99.5,
+            0.003,
+            Arbitration::TdmaRoundRobin {
+                slot: Seconds::new(0.1),
+            },
+        );
+        assert_eq!(s.devices.len(), 5);
+        for p in &s.pairs {
+            assert_eq!(p.rx, 0, "tags stream to the hub");
+            let d = s.devices[p.tx].pos.distance(s.devices[0].pos);
+            assert!((d.meters() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "missing device")]
+    fn validate_catches_dangling_pair() {
+        let devices = vec![DeviceSpec {
+            pos: Point::ORIGIN,
+            battery: Joules::from_watt_hours(1.0),
+        }];
+        let _ = FleetScenario::new(
+            devices,
+            vec![PairSpec::braided(0, 3)],
+            Arbitration::Uncoordinated,
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-validation: the fleet engine against the repo's two established
+//! references.
+//!
+//! * A two-device fleet must reproduce `mac::sim::simulate_transfer` —
+//!   same options, same solver, same Table 5 switching charge — despite
+//!   pacing the braid by discrete quanta and a time-based re-plan cadence
+//!   instead of the pairwise engine's energy-fraction epochs. Documented
+//!   tolerance: **2 %** on bits and per-device energy, 5 points on mode
+//!   shares (the re-plan grids sample the battery-ratio trajectory at
+//!   different instants, so the braid fractions drift slightly apart).
+//! * The fleet's suffer-vs-TDMA crossing must bracket the analytical
+//!   `Coexistence::tdma_crossover_distance` prediction.
+
+use braidio_mac::coexistence::Coexistence;
+use braidio_mac::sim::{simulate_transfer, Policy, TransferSetup};
+use braidio_net::{run_fleet, Arbitration, DeviceSpec, FleetScenario, PairSpec};
+use braidio_radio::Mode;
+use braidio_rfsim::geometry::Point;
+use braidio_units::{Joules, Meters, Seconds};
+
+const PAIR_SEP: Meters = Meters::new(0.5);
+
+/// A one-pair fleet shaped exactly like a `TransferSetup`: control-plane
+/// accounting off (the pairwise engine charges neither association nor
+/// probes) and an unbounded horizon (the pairwise engine runs to battery
+/// exhaustion).
+fn two_device(e1_wh: f64, e2_wh: f64) -> FleetScenario {
+    let tx = DeviceSpec {
+        pos: Point::ORIGIN,
+        battery: Joules::from_watt_hours(e1_wh),
+    };
+    let rx = DeviceSpec {
+        pos: Point::new(PAIR_SEP.meters(), 0.0),
+        battery: Joules::from_watt_hours(e2_wh),
+    };
+    FleetScenario::new(
+        vec![tx, rx],
+        vec![PairSpec::braided(0, 1)],
+        Arbitration::Uncoordinated,
+    )
+    .with_horizon(Seconds::new(1e9))
+    .without_control_overhead()
+}
+
+fn assert_close(label: &str, fleet: f64, pairwise: f64, rel_tol: f64) {
+    let err = (fleet - pairwise).abs() / pairwise.abs().max(f64::MIN_POSITIVE);
+    assert!(
+        err <= rel_tol,
+        "{label}: fleet {fleet} vs pairwise {pairwise} ({:.2}% off, tol {:.0}%)",
+        100.0 * err,
+        100.0 * rel_tol
+    );
+}
+
+#[test]
+fn two_device_fleet_reproduces_the_pairwise_simulator() {
+    // The paper's asymmetric shapes (Fig. 15 row/column extremes) plus the
+    // symmetric diagonal: small→big leans backscatter, big→small leans
+    // passive, equal braids both.
+    for (e1, e2) in [(1e-4, 1e-1), (1e-1, 1e-4), (1e-3, 1e-3)] {
+        let pairwise = simulate_transfer(&TransferSetup::new(e1, e2, Policy::Braidio));
+        let fleet = run_fleet(&two_device(e1, e2));
+
+        assert_close(
+            &format!("bits ({e1} Wh -> {e2} Wh)"),
+            fleet.pair_bits[0],
+            pairwise.bits,
+            0.02,
+        );
+        assert_close(
+            &format!("tx energy ({e1} Wh -> {e2} Wh)"),
+            fleet.device_spent[0].joules(),
+            pairwise.e1_spent.joules(),
+            0.02,
+        );
+        assert_close(
+            &format!("rx energy ({e1} Wh -> {e2} Wh)"),
+            fleet.device_spent[1].joules(),
+            pairwise.e2_spent.joules(),
+            0.02,
+        );
+        for mode in Mode::ALL {
+            let delta = (fleet.mode_share(mode) - pairwise.mode_share(mode)).abs();
+            assert!(
+                delta <= 0.05,
+                "{mode:?} share ({e1} Wh -> {e2} Wh): fleet {} vs pairwise {}",
+                fleet.mode_share(mode),
+                pairwise.mode_share(mode)
+            );
+        }
+    }
+}
+
+/// Two pairs pinned to one mode, a fixed spacing apart.
+fn pinned_pairs(mode: Mode, spacing: Meters, arb: Arbitration) -> FleetScenario {
+    let mut sc = FleetScenario::independent_pairs(2, PAIR_SEP, spacing, 1.0, 1.0, arb)
+        .with_horizon(Seconds::new(30.0))
+        .without_control_overhead();
+    for p in &mut sc.pairs {
+        p.pinned_mode = Some(mode);
+    }
+    sc
+}
+
+#[test]
+fn tdma_crossover_matches_the_analytical_prediction() {
+    // The analytical model: past d*, suffering an adjacent-channel carrier
+    // at full rate beats halving the airtime; below d*, the decade-spaced
+    // rate ladder drops the victim to a tenth and TDMA wins.
+    let d_star = Coexistence::braidio_neighbor(Meters::new(3.0))
+        .tdma_crossover_distance(Mode::Passive, PAIR_SEP)
+        .expect("passive has a finite protection distance");
+
+    let slot = Seconds::new(0.25);
+    let goodput = |arb: Arbitration, spacing: Meters| {
+        run_fleet(&pinned_pairs(Mode::Passive, spacing, arb)).pair_goodput(0)
+    };
+    // Inside the crossover, coordination wins...
+    let inside = Meters::new(0.8 * d_star.meters());
+    assert!(
+        goodput(Arbitration::Uncoordinated, inside)
+            < goodput(Arbitration::TdmaRoundRobin { slot }, inside),
+        "inside d* = {d_star:?}, suffering must lose to TDMA"
+    );
+    // ...and beyond it, suffering at full rate beats half the airtime.
+    let outside = Meters::new(1.3 * d_star.meters());
+    assert!(
+        goodput(Arbitration::Uncoordinated, outside)
+            > goodput(Arbitration::TdmaRoundRobin { slot }, outside),
+        "outside d* = {d_star:?}, suffering must beat TDMA"
+    );
+}
+
+#[test]
+fn backscatter_has_no_crossover_in_either_model() {
+    // Analytically there is no protection distance for the two-way d^4
+    // link...
+    assert!(Coexistence::braidio_neighbor(Meters::new(3.0))
+        .tdma_crossover_distance(Mode::Backscatter, PAIR_SEP)
+        .is_none());
+    // ...and the fleet agrees: even 50 m of separation leaves a pinned
+    // backscatter pair with nothing while a foreign carrier stands. The
+    // first pair to probe faces the neighbour's carrier and dies on the
+    // spot; only then (dead sessions release the band) can the survivor
+    // run — contention never resolves in favour of both.
+    let r = run_fleet(&pinned_pairs(
+        Mode::Backscatter,
+        Meters::new(50.0),
+        Arbitration::Uncoordinated,
+    ));
+    assert_eq!(r.pair_bits[0], 0.0);
+    assert!(r.pair_dead_at[0].is_some(), "contended pair must die");
+}

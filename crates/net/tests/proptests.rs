@@ -1,0 +1,81 @@
+//! Property-based tests for the discrete-event kernel's ordering contract.
+
+use braidio_net::EventQueue;
+use braidio_units::Seconds;
+use proptest::prelude::*;
+
+/// Random event keys: coarse-grained times force plenty of ties so the
+/// seq/device tie-break actually gets exercised, and the payload is the
+/// original index so duplicates remain distinguishable.
+fn arb_keys() -> impl Strategy<Value = Vec<(f64, u64, u32)>> {
+    proptest::collection::vec((0u32..50, 0u64..4, 0u32..6), 1..64).prop_map(|v| {
+        v.into_iter()
+            .map(|(t, s, d)| (t as f64 * 0.125, s, d))
+            .collect()
+    })
+}
+
+fn drain(keys: &[(f64, u64, u32)], order: &[usize]) -> Vec<(u64, u64, u32, usize)> {
+    let mut q = EventQueue::new();
+    for &i in order {
+        let (t, s, d) = keys[i];
+        q.schedule(Seconds::new(t), s, d, i);
+    }
+    let mut out = Vec::new();
+    while let Some(e) = q.pop() {
+        out.push((e.time.seconds().to_bits(), e.seq, e.device, e.event));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The kernel's core contract: for keys that are unique, the delivery
+    /// sequence is a pure function of the key set — any insertion order
+    /// (here: identity vs an arbitrary shuffle) pops identically.
+    #[test]
+    fn delivery_order_is_insertion_order_invariant(
+        raw in arb_keys(),
+        shuffle_seed in any::<u64>(),
+    ) {
+        // Keep the first occurrence of each key: the invariant is stated
+        // over unique keys (duplicates intentionally fall back to
+        // insertion order, covered by the unit tests).
+        let mut keys: Vec<(f64, u64, u32)> = Vec::new();
+        for k in raw {
+            if !keys.iter().any(|p| (p.0.to_bits(), p.1, p.2) == (k.0.to_bits(), k.1, k.2)) {
+                keys.push(k);
+            }
+        }
+        let forward: Vec<usize> = (0..keys.len()).collect();
+        // A cheap deterministic Fisher–Yates driven by the seed.
+        let mut shuffled = forward.clone();
+        let mut state = shuffle_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let a = drain(&keys, &forward);
+        let b = drain(&keys, &shuffled);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Regardless of duplicates or insertion order, delivery is never
+    /// behind the clock: times pop in non-decreasing order, and ties pop
+    /// in (seq, device) order.
+    #[test]
+    fn delivery_respects_the_total_order(keys in arb_keys()) {
+        let forward: Vec<usize> = (0..keys.len()).collect();
+        let popped = drain(&keys, &forward);
+        for w in popped.windows(2) {
+            let (ta, sa, da, _) = w[0];
+            let (tb, sb, db, _) = w[1];
+            prop_assert!(
+                (ta, sa, da) <= (tb, sb, db),
+                "out of order: {:?} before {:?}", w[0], w[1]
+            );
+        }
+    }
+}

@@ -2,8 +2,8 @@
 //!
 //! The paper's links are declared operational at BER < 10⁻², where a
 //! 2000-bit frame still fails more often than not; the related work it
-//! cites ("Turbocharging ambient backscatter" [41]) attacks exactly this
-//! with coding. We provide the classic single-error-correcting
+//! cites ("Turbocharging ambient backscatter", ref. \[41\]) attacks
+//! exactly this with coding. We provide the classic single-error-correcting
 //! Hamming(7,4) — cheap enough for an ATMEGA — plus a block interleaver so
 //! fading bursts are spread into correctable single errors, and the
 //! closed-form post-FEC BER used to size the gain.

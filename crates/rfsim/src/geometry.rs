@@ -100,6 +100,29 @@ impl Mul<f64> for Point {
     }
 }
 
+/// `n` points evenly spaced on a circle of radius `r` around `center`,
+/// starting on the +x axis and proceeding counter-clockwise. Deterministic:
+/// the layout is a pure function of the arguments (fleet star topologies).
+pub fn ring(center: Point, r: Meters, n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let theta = 2.0 * core::f64::consts::PI * i as f64 / n.max(1) as f64;
+            Point::new(
+                center.x + r.meters() * theta.cos(),
+                center.y + r.meters() * theta.sin(),
+            )
+        })
+        .collect()
+}
+
+/// `n` points on the x axis starting at `origin`, spaced `spacing` apart
+/// (fleet rooms: one device pair per line position).
+pub fn line(origin: Point, spacing: Meters, n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| Point::new(origin.x + i as f64 * spacing.meters(), origin.y))
+        .collect()
+}
+
 /// A rectangular sweep grid over the experiment plane (used for the Fig. 4b
 /// heat map).
 #[derive(Debug, Clone)]
@@ -205,5 +228,27 @@ mod tests {
     fn grid_bounds_checked() {
         let g = Grid::square(Meters::new(1.0), 2);
         let _ = g.point(2, 0);
+    }
+
+    #[test]
+    fn ring_points_sit_on_the_circle() {
+        let c = Point::new(1.0, -2.0);
+        let pts = ring(c, Meters::new(3.0), 7);
+        assert_eq!(pts.len(), 7);
+        for p in &pts {
+            assert!((c.distance(*p).meters() - 3.0).abs() < 1e-12);
+        }
+        // First point on the +x axis.
+        assert!((pts[0].x - 4.0).abs() < 1e-12 && (pts[0].y + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_points_are_evenly_spaced() {
+        let pts = line(Point::ORIGIN, Meters::new(2.0), 4);
+        assert_eq!(pts.len(), 4);
+        for (i, p) in pts.iter().enumerate() {
+            assert!((p.x - 2.0 * i as f64).abs() < 1e-12);
+            assert_eq!(p.y, 0.0);
+        }
     }
 }

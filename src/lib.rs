@@ -5,6 +5,7 @@
 pub use braidio::prelude;
 pub use braidio_circuits as circuits;
 pub use braidio_mac as mac;
+pub use braidio_net as net;
 pub use braidio_phy as phy;
 pub use braidio_radio as radio;
 pub use braidio_rfsim as rfsim;
