@@ -116,6 +116,32 @@ fn bench_memoized_solver(c: &mut Criterion) {
     });
 }
 
+fn bench_telemetry_off_overhead(c: &mut Criterion) {
+    // The telemetry contract's first clause: zero cost when off. Both arms
+    // run the same fleet scenario with no sink attached; the `off` arm
+    // pays one relaxed atomic load per instrumentation site, the
+    // `capturing` arm actually buffers events (and is drained between
+    // iterations so the buffer does not grow without bound). The two
+    // should be within noise of each other apart from the buffering cost
+    // itself.
+    use braidio_bench::fleet;
+    let grid = fleet::scenarios();
+    let scenario = &grid[0].1;
+    c.bench_function("telemetry/fleet_scenario/off", |b| {
+        b.iter(|| black_box(braidio_net::run_fleet(scenario)))
+    });
+    c.bench_function("telemetry/fleet_scenario/capturing", |b| {
+        braidio_telemetry::set_enabled(true);
+        b.iter(|| {
+            let r = black_box(braidio_net::run_fleet(scenario));
+            braidio_telemetry::take_events();
+            r
+        });
+        braidio_telemetry::set_enabled(false);
+        braidio_telemetry::take_events();
+    });
+}
+
 fn bench_characterization(c: &mut Criterion) {
     // `braidio()` used to rebuild the calibration per call; it is now a
     // clone out of a process-wide cache...
@@ -140,6 +166,7 @@ criterion_group!(
     bench_montecarlo,
     bench_streaming_chunk,
     bench_memoized_solver,
+    bench_telemetry_off_overhead,
     bench_characterization
 );
 criterion_main!(benches);

@@ -7,12 +7,21 @@
 //! experiments fig15 fig16            # a subset
 //! experiments all --jobs 4 --timing  # 4 worker threads, per-experiment timing
 //! experiments all --bench-json t.json# machine-readable timing report
+//! experiments fleet --trace-events fleet.jsonl   # simulated-time event trace
+//! experiments fleet --trace-chrome fleet.trace   # Perfetto-loadable trace
+//! experiments fleet --profile prof.trace         # wall-clock span profile
 //! ```
 //!
 //! The full argument list is validated before anything runs: a typo in the
 //! last name no longer wastes the minutes the first names took.
+//!
+//! Tracing never changes stdout: event capture is buffered in memory and
+//! rendered to the requested files after all experiments finish, and the
+//! trace carries simulated time only — so the files are byte-identical at
+//! any `--jobs` count.
 
 use braidio_bench::{ALL, HIDDEN};
+use braidio_telemetry as telemetry;
 use std::time::Instant;
 
 struct Cli {
@@ -22,6 +31,12 @@ struct Cli {
     timing: bool,
     /// Write a machine-readable timing report to this path.
     bench_json: Option<String>,
+    /// Write the simulated-time event trace as schema-versioned JSONL.
+    trace_events: Option<String>,
+    /// Write the simulated-time event trace as Chrome trace-event JSON.
+    trace_chrome: Option<String>,
+    /// Write the wall-clock span profile as Chrome trace-event JSON.
+    profile: Option<String>,
     /// Worker-thread override (`--jobs N`), if given.
     jobs: Option<usize>,
 }
@@ -41,12 +56,43 @@ fn main() {
     if let Some(n) = cli.jobs {
         braidio::pool::set_threads(n);
     }
+    if cli.trace_events.is_some() || cli.trace_chrome.is_some() {
+        telemetry::set_enabled(true);
+    }
+    if cli.profile.is_some() {
+        telemetry::set_profiling(true);
+    }
 
     let mut timings: Vec<(&str, f64)> = Vec::new();
-    for (name, run) in &cli.runs {
+    for (j, (name, run)) in cli.runs.iter().enumerate() {
+        // Each experiment gets a disjoint run-id block, so a combined trace
+        // (`all --trace-events ...`) keeps the experiments apart even when
+        // two of them use the same per-work-item run offsets.
+        telemetry::set_run_base((j as u32) << 16);
         let t0 = Instant::now();
         run();
         timings.push((name, t0.elapsed().as_secs_f64()));
+    }
+
+    if cli.trace_events.is_some() || cli.trace_chrome.is_some() {
+        let events = telemetry::take_events();
+        if let Some(path) = &cli.trace_events {
+            let jsonl = telemetry::sink::render_jsonl(&events);
+            // The validator is cheap relative to the simulation; refuse to
+            // write a trace that violates the schema contract.
+            if let Err(e) = telemetry::sink::validate_jsonl(&jsonl) {
+                eprintln!("internal error: trace failed validation: {e}");
+                std::process::exit(1);
+            }
+            write_or_die(path, &jsonl);
+        }
+        if let Some(path) = &cli.trace_chrome {
+            write_or_die(path, &telemetry::sink::render_chrome(&events));
+        }
+    }
+    if let Some(path) = &cli.profile {
+        let spans = telemetry::take_spans();
+        write_or_die(path, &telemetry::sink::render_profile_chrome(&spans));
     }
 
     // The timing report goes to stderr so the experiment output itself is
@@ -70,36 +116,48 @@ fn main() {
     }
 
     if let Some(path) = &cli.bench_json {
-        if let Err(e) = std::fs::write(path, bench_json(&timings)) {
-            eprintln!("failed to write {path}: {e}");
-            std::process::exit(1);
-        }
+        write_or_die(path, &bench_json(&timings));
     }
 }
 
-/// Render the timing report as JSON (schema 2, stable):
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Render the timing report as JSON (schema 3, stable):
 ///
 /// ```json
 /// {
-///   "schema": 2,
+///   "schema": 3,
 ///   "git_sha": "<HEAD sha or \"unknown\">",
 ///   "threads": 4,
 ///   "experiments": [{"name": "fig1", "seconds": 0.012}, ...],
 ///   "metrics": [{"name": "fleet.bound.tdma_goodput_bps", "value": 5e5}, ...],
+///   "histograms": [{"name": "fleet.pair_goodput_bps", "count": 12,
+///                   "p50": 4.1e5, "p95": 9.7e5, "max": 1.1e6,
+///                   "mean": 5.0e5}, ...],
+///   "counters": [{"name": "net.kernel.delivered", "value": 8123}, ...],
 ///   "total_seconds": 1.234
 /// }
 /// ```
 ///
-/// Schema 2 adds the `metrics` array: headline simulation results the
+/// Schema 2 added the `metrics` array: headline simulation results the
 /// experiments recorded through `braidio_bench::metrics` while running, so
-/// regression tooling can track outcomes without scraping stdout.
+/// regression tooling can track outcomes without scraping stdout. Schema 3
+/// adds `histograms` (distribution metrics — count, p50, p95, max, mean
+/// over fixed log-spaced bins) and `counters` (telemetry event counters;
+/// populated only when tracing or profiling is on, since the counters are
+/// gated behind the same fast path as event capture).
 ///
 /// Written by hand (no serde in the workspace); experiment and metric
 /// names are lowercase identifiers, so no JSON string escaping is needed.
 fn bench_json(timings: &[(&str, f64)]) -> String {
     let total: f64 = timings.iter().map(|(_, s)| s).sum();
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 2,\n");
+    out.push_str("  \"schema\": 3,\n");
     out.push_str(&format!("  \"git_sha\": \"{}\",\n", git_sha()));
     out.push_str(&format!(
         "  \"threads\": {},\n",
@@ -119,6 +177,29 @@ fn bench_json(timings: &[(&str, f64)]) -> String {
         let comma = if i + 1 < metrics.len() { "," } else { "" };
         out.push_str(&format!(
             "    {{\"name\": \"{name}\", \"value\": {value:.6}}}{comma}\n"
+        ));
+    }
+    out.push_str("  ],\n");
+    let hists = braidio_bench::metrics::histograms();
+    out.push_str("  \"histograms\": [\n");
+    for (i, (name, h)) in hists.iter().enumerate() {
+        let comma = if i + 1 < hists.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"count\": {}, \"p50\": {:.6}, \"p95\": {:.6}, \"max\": {:.6}, \"mean\": {:.6}}}{comma}\n",
+            h.count(),
+            h.quantile(0.5),
+            h.quantile(0.95),
+            h.max(),
+            h.mean(),
+        ));
+    }
+    out.push_str("  ],\n");
+    let counters = telemetry::counters_snapshot();
+    out.push_str("  \"counters\": [\n");
+    for (i, (name, value)) in counters.iter().enumerate() {
+        let comma = if i + 1 < counters.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"value\": {value}}}{comma}\n"
         ));
     }
     out.push_str("  ],\n");
@@ -162,6 +243,9 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
     let mut help = false;
     let mut timing = false;
     let mut bench_json: Option<String> = None;
+    let mut trace_events: Option<String> = None;
+    let mut trace_chrome: Option<String> = None;
+    let mut profile: Option<String> = None;
     let mut jobs: Option<usize> = None;
 
     let mut it = args.iter();
@@ -171,12 +255,18 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
             "list" => list = true,
             "all" => all = true,
             "--timing" => timing = true,
-            "--bench-json" => {
+            "--bench-json" | "--trace-events" | "--trace-chrome" | "--profile" => {
                 let v = it
                     .next()
                     .filter(|v| !v.starts_with('-'))
                     .ok_or_else(|| format!("{arg} needs an output path"))?;
-                bench_json = Some(v.clone());
+                let slot = match arg.as_str() {
+                    "--bench-json" => &mut bench_json,
+                    "--trace-events" => &mut trace_events,
+                    "--trace-chrome" => &mut trace_chrome,
+                    _ => &mut profile,
+                };
+                *slot = Some(v.clone());
             }
             "--jobs" | "-j" => {
                 let v = it
@@ -229,12 +319,16 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
         runs,
         timing,
         bench_json,
+        trace_events,
+        trace_chrome,
+        profile,
         jobs,
     }))
 }
 
 fn usage() {
     eprintln!("usage: experiments <selection> [--jobs N] [--timing] [--bench-json PATH]");
+    eprintln!("                   [--trace-events PATH] [--trace-chrome PATH] [--profile PATH]");
     eprintln!();
     eprintln!("selection (validated before anything runs):");
     eprintln!("  all            every experiment, in paper order");
@@ -250,9 +344,19 @@ fn usage() {
     eprintln!("                  results are identical at any thread count)");
     eprintln!("  --timing       per-experiment wall-clock report on stderr");
     eprintln!("  --bench-json PATH");
-    eprintln!("                 write the timing report as JSON (schema 2:");
+    eprintln!("                 write the timing report as JSON (schema 3:");
     eprintln!("                  git sha, thread count, per-experiment seconds,");
-    eprintln!("                  recorded headline metrics)");
+    eprintln!("                  recorded headline metrics, histogram metrics,");
+    eprintln!("                  telemetry counters)");
+    eprintln!("  --trace-events PATH");
+    eprintln!("                 capture the simulated-time event trace and write");
+    eprintln!("                  it as schema-versioned JSONL (byte-identical at");
+    eprintln!("                  any --jobs count; 'fleet' is the richest source)");
+    eprintln!("  --trace-chrome PATH");
+    eprintln!("                 same trace as Chrome trace-event JSON — load it");
+    eprintln!("                  in Perfetto (ui.perfetto.dev) or chrome://tracing");
+    eprintln!("  --profile PATH wall-clock span profile (worker-pool chunks,");
+    eprintln!("                  re-planning) as Chrome trace-event JSON");
     eprintln!();
     eprintln!("Regenerates the tables and figures of the Braidio paper (SIGCOMM'16)");
     eprintln!("from the simulation models in this workspace. See EXPERIMENTS.md for");

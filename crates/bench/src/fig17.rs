@@ -1,7 +1,7 @@
 //! Figure 17: performance gain of Braidio over Bluetooth for
 //! *bidirectional* traffic (equal data both ways).
 
-use crate::render::{banner, device_matrix};
+use crate::render::{banner, matrix_values, print_matrix};
 use braidio_mac::sim::{simulate_transfer, Policy, Traffic, TransferSetup};
 use braidio_radio::devices::CATALOG;
 
@@ -23,9 +23,15 @@ pub fn run() {
         "Figure 17",
         "Braidio / Bluetooth gain for bidirectional transfers",
     );
-    device_matrix(cell);
-    let uni = crate::fig15::cell(0, 9);
-    let bi = cell(0, 9);
+    let values = matrix_values(cell);
+    print_matrix(&values);
+    // The unidirectional comparison point is a fresh session on this
+    // thread; give it a run id past the 10×10 sweep's 0..99 so its trace
+    // identity cannot collide with a sweep item's.
+    let uni = braidio_telemetry::with_run(CATALOG.len() as u32 * CATALOG.len() as u32, || {
+        crate::fig15::cell(0, 9)
+    });
+    let bi = values[9 * CATALOG.len()]; // cell(0, 9)
     println!(
         "\nFuelBand<->MBP15: bidirectional {bi:.0}x vs unidirectional {uni:.0}x — the constrained"
     );

@@ -41,13 +41,15 @@ pub fn run() {
     // Each distance row (6 simulated transfers) is independent: evaluate
     // them on the work pool and print in index order.
     let rows = braidio_pool::par_map_indexed(20, |i| {
-        let d = 0.3 + (6.0 - 0.3) * i as f64 / 19.0;
-        let mut row = format!("{:>7.2}", d);
-        for (a, b) in pairs {
-            row.push_str(&format!(" {:>10.1}x", gain(a, b, d)));
-            row.push_str(&format!(" {:>10.1}x", gain(b, a, d)));
-        }
-        row
+        braidio_telemetry::with_run(i as u32, || {
+            let d = 0.3 + (6.0 - 0.3) * i as f64 / 19.0;
+            let mut row = format!("{:>7.2}", d);
+            for (a, b) in pairs {
+                row.push_str(&format!(" {:>10.1}x", gain(a, b, d)));
+                row.push_str(&format!(" {:>10.1}x", gain(b, a, d)));
+            }
+            row
+        })
     });
     for row in rows {
         println!("{row}");

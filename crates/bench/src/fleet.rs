@@ -102,6 +102,53 @@ fn nj_per_bit(r: &FleetReport) -> f64 {
     1e9 * spent / r.total_bits().max(f64::MIN_POSITIVE)
 }
 
+/// Run every scenario of `grid` through the work pool, stamping each grid
+/// index as its telemetry run id, and — when event capture is on — audit
+/// the telemetry energy ledger against each report's measured battery
+/// drain. Public so the determinism suite runs the exact production path.
+pub fn run_grid(grid: &[(&'static str, FleetScenario)]) -> Vec<FleetReport> {
+    let base = braidio_telemetry::run_base();
+    let reports = braidio_pool::par_map_indexed(grid.len(), |i| {
+        braidio_telemetry::with_run(i as u32, || run_fleet(&grid[i].1))
+    });
+    if braidio_telemetry::enabled() {
+        audit_energy_ledger(base, &reports);
+    }
+    reports
+}
+
+/// The energy-ledger audit: folding every `EnergyDebit` the engine emitted
+/// must reproduce each device's measured drain — the trace is complete, or
+/// this panics. Reported on stderr so experiment stdout stays byte-
+/// identical with telemetry on and off.
+fn audit_energy_ledger(base: u32, reports: &[FleetReport]) {
+    use braidio_telemetry::Track;
+    let events = braidio_telemetry::events_snapshot();
+    let ledger = braidio_telemetry::sink::fold_energy(&events);
+    let mut audited = 0usize;
+    for (i, r) in reports.iter().enumerate() {
+        let run = base + i as u32;
+        for (d, spent) in r.device_spent.iter().enumerate() {
+            let folded = ledger
+                .get(&(run, Track::Device(d as u32)))
+                .copied()
+                .unwrap_or(0.0);
+            let err = (folded - spent.joules()).abs() / spent.joules().abs().max(1e-30);
+            assert!(
+                err <= 1e-9,
+                "energy ledger mismatch: run {run} device {d}: folded {folded} J \
+                 vs drained {} J (rel err {err:e})",
+                spent.joules()
+            );
+            audited += 1;
+        }
+    }
+    eprintln!(
+        "fleet energy-ledger audit: {audited} device ledgers reconciled across {} runs",
+        reports.len()
+    );
+}
+
 /// Run the fleet experiment.
 pub fn run() {
     banner(
@@ -109,7 +156,24 @@ pub fn run() {
         "Multi-device network simulation: carrier arbitration at room scale",
     );
     let grid = scenarios();
-    let reports = braidio_pool::par_map(&grid, |(_, sc)| run_fleet(sc));
+    // Profile the grid run regardless of `--profile`, so `--bench-json`
+    // always carries the re-plan latency distribution.
+    let prev_profiling = braidio_telemetry::profiling();
+    braidio_telemetry::set_profiling(true);
+    let spans_before = braidio_telemetry::spans_snapshot().len();
+    let reports = run_grid(&grid);
+    let spans = braidio_telemetry::spans_snapshot();
+    braidio_telemetry::set_profiling(prev_profiling);
+    for s in &spans[spans_before..] {
+        if s.name == "net.replan" {
+            metrics::observe("fleet.replan_latency_s", s.dur_us * 1e-6);
+        }
+    }
+    for (r, (_, sc)) in reports.iter().zip(&grid) {
+        for p in 0..sc.pairs.len() {
+            metrics::observe("fleet.pair_goodput_bps", r.pair_goodput(p));
+        }
+    }
 
     println!(
         "independent pairs ({} m links, {} m apart, 1 Wh each, {:.0} s horizon; goodput in bit/s):",

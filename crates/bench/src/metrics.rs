@@ -1,41 +1,262 @@
 //! Headline-metric registry for machine-readable runs.
 //!
-//! Experiments `record` a handful of named scalar results while they run;
-//! the `experiments` binary folds the registry into its `--bench-json`
-//! report (schema 2), so CI and regression tooling can track simulation
-//! outcomes — not just wall-clock — without scraping stdout.
+//! Experiments `record` named scalar results and `observe` samples into
+//! histogram metrics while they run; the `experiments` binary folds the
+//! registry into its `--bench-json` report (schema 3), so CI and
+//! regression tooling can track simulation outcomes — and their
+//! *distributions* — without scraping stdout.
 //!
 //! Names are lowercase dotted identifiers (`fleet.tdma.m2.goodput_bps`), so
 //! the JSON renderer needs no string escaping. Recording the same name
 //! twice keeps the latest value; entries keep first-recorded order, so the
 //! report is deterministic for a fixed experiment selection.
+//!
+//! The registry is handle-based: [`Registry::new`] gives an isolated
+//! instance, so tests can exercise recording without racing each other
+//! over process state. The free functions ([`record`], [`observe`],
+//! [`snapshot`], ...) forward to one process-global [`Registry`] used by
+//! the experiment binary.
 
 use std::sync::Mutex;
 
-static REGISTRY: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+/// A histogram over fixed, log-spaced bins.
+///
+/// The bin edges are a pure function of nothing — `BINS_PER_DECADE` bins
+/// per decade covering `1e-15 ..= 1e15`, plus an underflow bin for zero
+/// and sub-range samples — so histograms merged from different runs, or
+/// compared across thread counts, always align. Count, sum, min and max
+/// are exact; quantiles are resolved to the geometric midpoint of the
+/// containing bin, clamped to the exact `[min, max]` envelope (so `p50` of
+/// a single sample is that sample).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
 
-/// Record (or overwrite) a headline metric.
-pub fn record(name: &str, value: f64) {
+/// Log-spaced resolution: 4 bins per decade ≈ 78% ratio between edges.
+const BINS_PER_DECADE: f64 = 4.0;
+/// Smallest finite edge; anything below lands in the underflow bin 0.
+const EDGE_LO_EXP: f64 = -15.0;
+/// Largest covered exponent.
+const EDGE_HI_EXP: f64 = 15.0;
+/// Underflow bin + 4 bins/decade over 30 decades.
+const NBINS: usize = 1 + ((EDGE_HI_EXP - EDGE_LO_EXP) * BINS_PER_DECADE) as usize;
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            bins: vec![0; NBINS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bin_for(v: f64) -> usize {
+        if v < 10f64.powf(EDGE_LO_EXP) {
+            return 0; // underflow (including exact zero)
+        }
+        let b = ((v.log10() - EDGE_LO_EXP) * BINS_PER_DECADE).floor() as isize + 1;
+        (b.max(1) as usize).min(NBINS - 1)
+    }
+
+    /// Add a sample. Samples must be finite and non-negative (durations,
+    /// rates, counts — the things experiments measure).
+    pub fn observe(&mut self, v: f64) {
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "histogram samples are finite and non-negative, got {v}"
+        );
+        self.bins[Self::bin_for(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact minimum (0 for an empty histogram).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (0 for an empty histogram).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of samples (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`), resolved to the geometric midpoint
+    /// of the containing bin and clamped to the exact sample envelope.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile in [0,1], got {q}");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                if i == 0 {
+                    return self.min;
+                }
+                // Geometric midpoint of bin i's [lo, hi) edge pair.
+                let lo_exp = EDGE_LO_EXP + (i as f64 - 1.0) / BINS_PER_DECADE;
+                let mid = 10f64.powf(lo_exp + 0.5 / BINS_PER_DECADE);
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    scalars: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+/// A metric registry: named scalars plus named histograms.
+#[derive(Debug)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+fn check_name(name: &str) {
     assert!(
         name.chars()
             .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
         "metric names are lowercase dotted identifiers, got {name:?}"
     );
-    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
-    match reg.iter_mut().find(|(n, _)| n == name) {
-        Some(slot) => slot.1 = value,
-        None => reg.push((name.to_string(), value)),
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Registry {
+            inner: Mutex::new(Inner {
+                scalars: Vec::new(),
+                histograms: Vec::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record (or overwrite) a headline scalar metric.
+    pub fn record(&self, name: &str, value: f64) {
+        check_name(name);
+        let mut reg = self.lock();
+        match reg.scalars.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => slot.1 = value,
+            None => reg.scalars.push((name.to_string(), value)),
+        }
+    }
+
+    /// Add a sample to the named histogram metric (created on first use).
+    pub fn observe(&self, name: &str, value: f64) {
+        check_name(name);
+        let mut reg = self.lock();
+        match reg.histograms.iter_mut().find(|(n, _)| n == name) {
+            Some((_, h)) => h.observe(value),
+            None => {
+                let mut h = Histogram::new();
+                h.observe(value);
+                reg.histograms.push((name.to_string(), h));
+            }
+        }
+    }
+
+    /// All recorded scalars, in first-recorded order.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        self.lock().scalars.clone()
+    }
+
+    /// All recorded histograms, in first-recorded order.
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        self.lock().histograms.clone()
+    }
+
+    /// Clear everything.
+    pub fn reset(&self) {
+        let mut reg = self.lock();
+        reg.scalars.clear();
+        reg.histograms.clear();
     }
 }
 
-/// All recorded metrics, in first-recorded order.
-pub fn snapshot() -> Vec<(String, f64)> {
-    REGISTRY.lock().unwrap_or_else(|e| e.into_inner()).clone()
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
 }
 
-/// Clear the registry (tests).
+/// The process-global registry the experiment binary reports from.
+static GLOBAL: Registry = Registry::new();
+
+/// Record (or overwrite) a headline metric in the global registry.
+pub fn record(name: &str, value: f64) {
+    GLOBAL.record(name, value)
+}
+
+/// Add a sample to a histogram metric in the global registry.
+pub fn observe(name: &str, value: f64) {
+    GLOBAL.observe(name, value)
+}
+
+/// All globally recorded scalars, in first-recorded order.
+pub fn snapshot() -> Vec<(String, f64)> {
+    GLOBAL.snapshot()
+}
+
+/// All globally recorded histograms, in first-recorded order.
+pub fn histograms() -> Vec<(String, Histogram)> {
+    GLOBAL.histograms()
+}
+
+/// Clear the global registry (tests).
 pub fn reset() {
-    REGISTRY.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    GLOBAL.reset()
 }
 
 #[cfg(test)]
@@ -44,21 +265,93 @@ mod tests {
 
     #[test]
     fn record_keeps_order_and_overwrites() {
-        reset();
-        record("a.first", 1.0);
-        record("b.second", 2.0);
-        record("a.first", 3.0);
-        let snap = snapshot();
+        // A local registry: no races with other tests over global state.
+        let reg = Registry::new();
+        reg.record("a.first", 1.0);
+        reg.record("b.second", 2.0);
+        reg.record("a.first", 3.0);
+        let snap = reg.snapshot();
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0], ("a.first".to_string(), 3.0));
         assert_eq!(snap[1], ("b.second".to_string(), 2.0));
-        reset();
-        assert!(snapshot().is_empty());
+        reg.reset();
+        assert!(reg.snapshot().is_empty());
     }
 
     #[test]
     #[should_panic(expected = "lowercase dotted")]
     fn rejects_names_that_would_need_escaping() {
-        record("bad name \"quoted\"", 1.0);
+        let reg = Registry::new();
+        reg.record("bad name \"quoted\"", 1.0);
+    }
+
+    #[test]
+    fn histogram_exact_envelope_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 100.0);
+        assert!((h.mean() - 22.0).abs() < 1e-12);
+        // p50 lands in the bin holding 2.0 and 3.0; the geometric midpoint
+        // of a quarter-decade bin is within a factor ~1.33 of any member.
+        let p50 = h.quantile(0.5);
+        assert!((1.0..=4.0).contains(&p50), "p50 {p50}");
+        // p100 is the exact max by clamping.
+        assert_eq!(h.quantile(1.0), 100.0);
+        // A single-sample histogram answers the sample exactly.
+        let mut one = Histogram::new();
+        one.observe(0.0375);
+        assert_eq!(one.quantile(0.5), 0.0375);
+        assert_eq!(one.quantile(0.95), 0.0375);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_extremes() {
+        let mut h = Histogram::new();
+        h.observe(0.0);
+        h.observe(1e-20);
+        h.observe(1e20);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 1e20);
+        // Underflow bin answers the exact min.
+        assert_eq!(h.quantile(0.3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn histogram_rejects_negative_samples() {
+        Histogram::new().observe(-1.0);
+    }
+
+    #[test]
+    fn registry_histograms_accumulate_by_name() {
+        let reg = Registry::new();
+        reg.observe("lat.s", 0.1);
+        reg.observe("lat.s", 0.2);
+        reg.observe("other.s", 5.0);
+        let hists = reg.histograms();
+        assert_eq!(hists.len(), 2);
+        assert_eq!(hists[0].0, "lat.s");
+        assert_eq!(hists[0].1.count(), 2);
+        assert_eq!(hists[1].1.count(), 1);
+    }
+
+    #[test]
+    fn bins_are_deterministic_across_insertion_orders() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let vs = [0.003, 7.2, 1e-9, 42.0, 0.5];
+        for v in vs {
+            a.observe(v);
+        }
+        for v in vs.iter().rev() {
+            b.observe(*v);
+        }
+        assert_eq!(a.bins, b.bins);
+        assert_eq!(a.quantile(0.5).to_bits(), b.quantile(0.5).to_bits());
     }
 }

@@ -29,7 +29,9 @@ pub fn gain_cell(g: f64) -> String {
 /// identical at any thread count (see `braidio_pool`).
 pub fn matrix_values(cell: impl Fn(usize, usize) -> f64 + Sync) -> Vec<f64> {
     let n = CATALOG.len();
-    pool::par_map_indexed(n * n, |i| cell(i % n, i / n))
+    pool::par_map_indexed(n * n, |i| {
+        braidio_telemetry::with_run(i as u32, || cell(i % n, i / n))
+    })
 }
 
 /// Print a row-major 10×10 device matrix as produced by [`matrix_values`]:

@@ -33,6 +33,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`units`] | typed quantities (dBm, watts, joules, meters, bit/s) |
+//! | [`telemetry`] | deterministic event bus, profiling spans, trace sinks |
 //! | [`rfsim`] | path loss, fading, phase cancellation, link budgets |
 //! | [`circuits`] | charge pump, envelope detector, amplifier, comparator |
 //! | [`phy`] | OOK modulation, framing, CRC, BER models |
@@ -52,6 +53,7 @@ pub use braidio_phy as phy;
 pub use braidio_pool as pool;
 pub use braidio_radio as radio;
 pub use braidio_rfsim as rfsim;
+pub use braidio_telemetry as telemetry;
 pub use braidio_units as units;
 
 pub mod driver;

@@ -143,6 +143,7 @@ pub struct LiveLink {
 impl LiveLink {
     /// Open a link from `tx` to `rx`.
     pub fn open(tx: Device, rx: Device, config: LiveConfig) -> Self {
+        braidio_telemetry::begin_unit();
         let prober = if config.shadowing_sigma_db > 0.0 {
             LinkProber::with_shadowing(config.shadowing_sigma_db, config.seed ^ 0xBEEF)
         } else {
@@ -182,6 +183,7 @@ impl LiveLink {
     }
 
     fn trace(&mut self, event: TraceEvent) {
+        braidio_telemetry::emit(event.to_telemetry());
         if let Some(t) = self.tracer.as_mut() {
             t.record(event);
         }

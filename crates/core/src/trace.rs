@@ -55,43 +55,71 @@ impl TraceEvent {
             | TraceEvent::BatteryDead { at } => at,
         }
     }
-}
 
-impl fmt::Display for TraceEvent {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
+    /// This event in the unified telemetry vocabulary. `LiveLink` emits the
+    /// conversion onto the process telemetry bus alongside local recording,
+    /// so pairwise traces and fleet traces share one schema; the track is
+    /// always the pairwise session's single pair, `Pair(0)`.
+    pub fn to_telemetry(&self) -> braidio_telemetry::Event {
+        use braidio_telemetry::{DeathReason, Event, Track};
+        let track = Track::Pair(0);
+        match *self {
             TraceEvent::Packet {
                 at,
                 mode,
                 rate,
                 delivered,
                 payload_bytes,
-            } => write!(
-                f,
-                "{:>12.6}s  DATA  {:<11} @{:<4} {:>4}B  {}",
-                at.seconds(),
-                mode.label(),
-                rate.label(),
-                payload_bytes,
-                if *delivered { "ok" } else { "LOST" }
-            ),
-            TraceEvent::Replan { at, planned } => write!(
-                f,
-                "{:>12.6}s  PLAN  {}",
-                at.seconds(),
-                if *planned {
-                    "installed"
+            } => {
+                let (mode, rate) = (mode.into(), rate.into());
+                let bits = (payload_bytes * 8) as f64;
+                if delivered {
+                    Event::QuantumDelivered {
+                        at,
+                        track,
+                        mode,
+                        rate,
+                        bits,
+                    }
                 } else {
-                    "no viable mode"
+                    Event::QuantumLost {
+                        at,
+                        track,
+                        mode,
+                        rate,
+                        bits,
+                    }
                 }
-            ),
-            TraceEvent::LinkDown { at } => {
-                write!(f, "{:>12.6}s  DOWN  link out of range", at.seconds())
             }
-            TraceEvent::BatteryDead { at } => {
-                write!(f, "{:>12.6}s  DEAD  battery exhausted", at.seconds())
-            }
+            TraceEvent::Replan { at, planned } => Event::Replan {
+                at,
+                track,
+                planned,
+                exact: false,
+                primary: None,
+            },
+            TraceEvent::LinkDown { at } => Event::SessionDead {
+                at,
+                track,
+                reason: DeathReason::NoViableMode,
+            },
+            TraceEvent::BatteryDead { at } => Event::SessionDead {
+                at,
+                track,
+                reason: DeathReason::BatteryDead,
+            },
         }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // One renderer for the whole stack: the tcpdump-style line is
+        // produced by the telemetry text sink from the unified event, so
+        // this Display and `--trace-events` output can never drift apart.
+        f.write_str(&braidio_telemetry::sink::render_text_line(
+            &self.to_telemetry(),
+        ))
     }
 }
 

@@ -311,6 +311,10 @@ pub fn solve_memo(options: &[LinkOption], e1: Joules, e2: Joules) -> Option<Offl
     let mut guard = CACHE.lock().unwrap_or_else(|e| e.into_inner());
     let cache = guard.get_or_insert_with(HashMap::new);
     if let Some(plan) = cache.get(&key) {
+        // Counter, not a trace event: which call hits depends on thread
+        // interleaving over the process-wide cache, so it must never enter
+        // the deterministic event stream.
+        braidio_telemetry::count("mac.offload.memo_hit");
         return plan.clone();
     }
     // Canonical solve on the quantized ratio: the cached value is a pure
@@ -321,6 +325,7 @@ pub fn solve_memo(options: &[LinkOption], e1: Joules, e2: Joules) -> Option<Offl
         cache.clear();
     }
     cache.insert(key, plan.clone());
+    braidio_telemetry::count("mac.offload.memo_miss");
     plan
 }
 

@@ -25,6 +25,7 @@ use braidio_radio::bluetooth::BluetoothRadio;
 use braidio_radio::characterization::Characterization;
 use braidio_radio::switching::SwitchingOverhead;
 use braidio_radio::{Battery, Mode, Role};
+use braidio_telemetry as telemetry;
 use braidio_units::{Joules, Meters, Seconds};
 
 /// Traffic direction pattern.
@@ -241,9 +242,13 @@ pub fn switches_per_packet(plan: &OffloadPlan) -> f64 {
 }
 
 fn simulate_braidio(setup: &TransferSetup) -> SimReport {
+    telemetry::begin_unit();
     let mut b1 = Battery::new(setup.e1);
     let mut b2 = Battery::new(setup.e2);
     let mut report = SimReport::empty();
+    // Primary mode of the previous epoch's transmitter-direction plan, for
+    // telemetry ModeSwitch edges at regime transitions.
+    let mut last_mode: Option<Mode> = None;
 
     // Probe exchange cost per re-plan: one 256-bit exchange per mode at its
     // operational rate (see `probe`), approximated from the plan options.
@@ -273,7 +278,60 @@ fn simulate_braidio(setup: &TransferSetup) -> SimReport {
             };
             match solve_memo(&opts, e_tx, e_rx) {
                 Some(plan) => plans.push((dir1, share, plan)),
-                None => return report, // link out of range
+                None => {
+                    // Link out of range.
+                    if telemetry::enabled() {
+                        let track = telemetry::Track::Pair(0);
+                        telemetry::emit(telemetry::Event::Replan {
+                            at: report.duration,
+                            track,
+                            planned: false,
+                            exact: false,
+                            primary: None,
+                        });
+                        telemetry::emit(telemetry::Event::SessionDead {
+                            at: report.duration,
+                            track,
+                            reason: telemetry::DeathReason::NoViableMode,
+                        });
+                    }
+                    return report;
+                }
+            }
+        }
+        if telemetry::enabled() {
+            let track = telemetry::Track::Pair(0);
+            for (_, _, plan) in &plans {
+                let primary = plan
+                    .allocations
+                    .iter()
+                    .max_by(|a, b| a.fraction.partial_cmp(&b.fraction).expect("finite"))
+                    .map(|a| a.option.mode);
+                telemetry::emit(telemetry::Event::Replan {
+                    at: report.duration,
+                    track,
+                    planned: true,
+                    exact: plan.exact,
+                    primary: primary.map(Into::into),
+                });
+            }
+            // Regime transitions show on the transmitter-direction braid.
+            let primary = plans[0]
+                .2
+                .allocations
+                .iter()
+                .max_by(|a, b| a.fraction.partial_cmp(&b.fraction).expect("finite"))
+                .map(|a| a.option.mode);
+            if let Some(primary) = primary {
+                if last_mode != Some(primary) {
+                    telemetry::emit(telemetry::Event::ModeSwitch {
+                        at: report.duration,
+                        track,
+                        from: last_mode.map(Into::into),
+                        to: primary.into(),
+                    });
+                    last_mode = Some(primary);
+                }
             }
         }
 
@@ -330,6 +388,7 @@ fn simulate_braidio(setup: &TransferSetup) -> SimReport {
             drain(&mut b1, &mut b2, final_bits, c1, c2, &mut report);
             attribute_bits(&plans, final_bits, &mut report);
             report.duration += Seconds::new(final_bits * rate_weighted_time_per_bit);
+            emit_epoch(&plans, final_bits, c1, c2, report.duration);
             break;
         }
 
@@ -337,8 +396,47 @@ fn simulate_braidio(setup: &TransferSetup) -> SimReport {
         attribute_bits(&plans, bits_epoch, &mut report);
         report.duration += Seconds::new(bits_epoch * rate_weighted_time_per_bit);
         report.switches += bits_epoch * switches_per_bit_total;
+        emit_epoch(&plans, bits_epoch, c1, c2, report.duration);
+    }
+    if b1.is_dead() || b2.is_dead() {
+        telemetry::emit(telemetry::Event::SessionDead {
+            at: report.duration,
+            track: telemetry::Track::Pair(0),
+            reason: telemetry::DeathReason::BatteryDead,
+        });
     }
     report
+}
+
+/// Telemetry for one integrated epoch: the bits each braid allocation
+/// carried (at the epoch's end time) and the energy both devices paid,
+/// mirroring what [`drain`] and [`attribute_bits`] just committed.
+fn emit_epoch(plans: &[(Role, f64, OffloadPlan)], bits: f64, c1: f64, c2: f64, at: Seconds) {
+    if !telemetry::enabled() {
+        return;
+    }
+    let track = telemetry::Track::Pair(0);
+    for (_, share, plan) in plans {
+        for a in &plan.allocations {
+            telemetry::emit(telemetry::Event::QuantumDelivered {
+                at,
+                track,
+                mode: a.option.mode.into(),
+                rate: a.option.rate.into(),
+                bits: bits * share * a.fraction,
+            });
+        }
+    }
+    telemetry::emit(telemetry::Event::EnergyDebit {
+        at,
+        track: telemetry::Track::Device(0),
+        joules: Joules::new(bits * c1),
+    });
+    telemetry::emit(telemetry::Event::EnergyDebit {
+        at,
+        track: telemetry::Track::Device(1),
+        joules: Joules::new(bits * c2),
+    });
 }
 
 /// Run a Braidio transfer while the pair moves along a mobility trace.

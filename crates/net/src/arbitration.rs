@@ -97,6 +97,8 @@ impl Arbitration {
                 if n_pairs <= 1 || self.may_transmit(pair, n_pairs, t) {
                     return t;
                 }
+                // The pair is outside its slot and must wait for its turn.
+                braidio_telemetry::count("net.arbitration.deferred");
                 let s = slot.seconds();
                 let idx = (t.seconds() / s).floor() as u64;
                 let n = n_pairs as u64;

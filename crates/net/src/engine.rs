@@ -38,6 +38,7 @@ use braidio_mac::sim::switches_per_packet;
 use braidio_radio::characterization::Rate;
 use braidio_radio::{Battery, Mode, Role};
 use braidio_rfsim::geometry::Point;
+use braidio_telemetry as telemetry;
 use braidio_units::{Joules, Meters, Seconds, Watts};
 
 /// Battery-status exchange size, bits each way over the active link (§4.2
@@ -88,8 +89,8 @@ struct PendingQuantum {
     bits: f64,
     e_tx: Joules,
     e_rx: Joules,
-    /// (mode, bits, tx-radiates, rx-radiates, airtime) per allocation.
-    slices: Vec<(Mode, f64, bool, bool, Seconds)>,
+    /// (mode, rate, bits, tx-radiates, rx-radiates, airtime) per allocation.
+    slices: Vec<(Mode, Rate, f64, bool, bool, Seconds)>,
     /// This quantum exhausts a battery.
     last: bool,
 }
@@ -113,6 +114,9 @@ struct PairRt {
     dead_at: Option<Seconds>,
     /// Unit vector tx→rx for mobility displacement.
     dir: Point,
+    /// Primary (largest-fraction) mode of the last installed plan, for
+    /// telemetry `ModeSwitch` edges.
+    last_mode: Option<Mode>,
 }
 
 /// Run a fleet scenario to its horizon (or until every session dies).
@@ -161,6 +165,7 @@ impl<'a> Fleet<'a> {
                     .pos
                     .direction_to(sc.devices[p.rx].pos)
                     .unwrap_or(Point::new(1.0, 0.0)),
+                last_mode: None,
             })
             .collect();
         Fleet {
@@ -173,6 +178,7 @@ impl<'a> Fleet<'a> {
     }
 
     fn run(&mut self) -> FleetReport {
+        telemetry::begin_unit();
         for i in 0..self.pairs.len() {
             self.q.schedule(
                 Seconds::new(i as f64 * ASSOC_STAGGER.seconds()),
@@ -195,6 +201,12 @@ impl<'a> Fleet<'a> {
             self.handle(ev.event.pair, ev.event.kind, ev.time);
         }
         let end_time = if truncated { self.sc.horizon } else { last };
+        // Quanta still in flight at the horizon never commit: surface them
+        // as lost and close their carrier grants so every grant in the
+        // trace has a matching release.
+        for p in 0..self.pairs.len() {
+            self.abort_pending(p, end_time);
+        }
         FleetReport {
             horizon: self.sc.horizon,
             end_time,
@@ -232,6 +244,12 @@ impl<'a> Fleet<'a> {
     }
 
     fn on_associate(&mut self, p: usize, now: Seconds) {
+        // Association begins when the receiver's passive wakeup detector
+        // catches the transmitter's beacon (§4.2 step 0).
+        telemetry::emit(telemetry::Event::WakeupDetect {
+            at: now,
+            track: telemetry::Track::Device(self.sc.pairs[p].rx as u32),
+        });
         self.pairs[p]
             .fsm
             .on(FsmEvent::Associated)
@@ -281,6 +299,7 @@ impl<'a> Fleet<'a> {
     }
 
     fn on_replan(&mut self, p: usize, now: Seconds) {
+        let _span = telemetry::span("net.replan");
         self.replans += 1;
         self.pairs[p]
             .fsm
@@ -295,7 +314,7 @@ impl<'a> Fleet<'a> {
         if !self.install_plan(p, now) {
             // No viable mode any more: the in-flight quantum dies with the
             // session (its completion event will find a dead FSM).
-            self.pairs[p].pending = None;
+            self.abort_pending(p, now);
             return;
         }
         self.schedule(now + self.sc.replan_interval, p, Kind::Replan);
@@ -314,7 +333,7 @@ impl<'a> Fleet<'a> {
         self.charge(tx, pending.e_tx, now);
         self.charge(rx, pending.e_rx, now);
         self.pairs[p].bits += pending.bits;
-        for (mode, bits, on_tx, on_rx, airtime) in &pending.slices {
+        for (mode, rate, bits, on_tx, on_rx, airtime) in &pending.slices {
             for (m, b) in self.pairs[p].mode_bits.iter_mut() {
                 if m == mode {
                     *b += bits;
@@ -326,7 +345,18 @@ impl<'a> Fleet<'a> {
             if *on_rx {
                 self.devices[rx].carrier_time += *airtime;
             }
+            telemetry::emit(telemetry::Event::QuantumDelivered {
+                at: now,
+                track: telemetry::Track::Pair(p as u32),
+                mode: (*mode).into(),
+                rate: (*rate).into(),
+                bits: *bits,
+            });
         }
+        telemetry::emit(telemetry::Event::CarrierRelease {
+            at: now,
+            track: telemetry::Track::Pair(p as u32),
+        });
         if pending.last || self.devices[tx].battery.is_dead() || self.devices[rx].battery.is_dead()
         {
             self.kill(p, now);
@@ -368,6 +398,21 @@ impl<'a> Fleet<'a> {
                 .on(FsmEvent::ProbesEmpty)
                 .expect("Probing accepts ProbesEmpty");
             self.pairs[p].dead_at = Some(now);
+            if telemetry::enabled() {
+                let track = telemetry::Track::Pair(p as u32);
+                telemetry::emit(telemetry::Event::Replan {
+                    at: now,
+                    track,
+                    planned: false,
+                    exact: false,
+                    primary: None,
+                });
+                telemetry::emit(telemetry::Event::SessionDead {
+                    at: now,
+                    track,
+                    reason: telemetry::DeathReason::NoViableMode,
+                });
+            }
             return false;
         }
         let (tx, rx) = (self.sc.pairs[p].tx, self.sc.pairs[p].rx);
@@ -381,6 +426,35 @@ impl<'a> Fleet<'a> {
             .fsm
             .on(FsmEvent::ProbesOk)
             .expect("Probing accepts ProbesOk");
+        if telemetry::enabled() {
+            // Primary = the allocation carrying the largest bit fraction
+            // (an exact 50/50 tie resolves to the later allocation — any
+            // fixed rule works, it just has to be deterministic).
+            let primary = plan
+                .allocations
+                .iter()
+                .max_by(|a, b| a.fraction.partial_cmp(&b.fraction).expect("finite"))
+                .map(|a| a.option.mode);
+            let track = telemetry::Track::Pair(p as u32);
+            telemetry::emit(telemetry::Event::Replan {
+                at: now,
+                track,
+                planned: true,
+                exact: plan.exact,
+                primary: primary.map(Into::into),
+            });
+            if let Some(primary) = primary {
+                if self.pairs[p].last_mode != Some(primary) {
+                    telemetry::emit(telemetry::Event::ModeSwitch {
+                        at: now,
+                        track,
+                        from: self.pairs[p].last_mode.map(Into::into),
+                        to: primary.into(),
+                    });
+                    self.pairs[p].last_mode = Some(primary);
+                }
+            }
+        }
         self.pairs[p].plan = Some(plan);
         true
     }
@@ -431,7 +505,7 @@ impl<'a> Fleet<'a> {
             let slice_bits = bits * a.fraction;
             let dt = a.option.rate.bps().time_for_bits(slice_bits);
             let (on_tx, on_rx) = a.option.mode.carrier_at();
-            slices.push((a.option.mode, slice_bits, on_tx, on_rx, dt));
+            slices.push((a.option.mode, a.option.rate, slice_bits, on_tx, on_rx, dt));
             airtime += dt;
         }
         let finish = self.finish_time(p, now, airtime);
@@ -443,6 +517,10 @@ impl<'a> Fleet<'a> {
             last,
         });
         self.schedule(finish, p, Kind::QuantumDone);
+        telemetry::emit(telemetry::Event::CarrierGrant {
+            at: now,
+            track: telemetry::Track::Pair(p as u32),
+        });
     }
 
     /// When a quantum started at `start` with `airtime` on-air seconds
@@ -526,6 +604,11 @@ impl<'a> Fleet<'a> {
     }
 
     fn charge(&mut self, dev: usize, e: Joules, now: Seconds) {
+        telemetry::emit(telemetry::Event::EnergyDebit {
+            at: now,
+            track: telemetry::Track::Device(dev as u32),
+            joules: e,
+        });
         let d = &mut self.devices[dev];
         d.spent += e;
         d.battery.draw(e);
@@ -540,11 +623,37 @@ impl<'a> Fleet<'a> {
                 .fsm
                 .on(FsmEvent::BatteryDead)
                 .expect("live states accept BatteryDead");
+            telemetry::emit(telemetry::Event::SessionDead {
+                at: now,
+                track: telemetry::Track::Pair(p as u32),
+                reason: telemetry::DeathReason::BatteryDead,
+            });
         }
         if self.pairs[p].dead_at.is_none() {
             self.pairs[p].dead_at = Some(now);
         }
-        self.pairs[p].pending = None;
+        self.abort_pending(p, now);
+    }
+
+    /// Drop the pair's quantum in flight, if any, surfacing it as lost
+    /// telemetry and closing the matching carrier grant.
+    fn abort_pending(&mut self, p: usize, at: Seconds) {
+        let Some(pending) = self.pairs[p].pending.take() else {
+            return;
+        };
+        if telemetry::enabled() {
+            let track = telemetry::Track::Pair(p as u32);
+            for (mode, rate, bits, ..) in &pending.slices {
+                telemetry::emit(telemetry::Event::QuantumLost {
+                    at,
+                    track,
+                    mode: (*mode).into(),
+                    rate: (*rate).into(),
+                    bits: *bits,
+                });
+            }
+            telemetry::emit(telemetry::Event::CarrierRelease { at, track });
+        }
     }
 
     fn schedule(&mut self, t: Seconds, p: usize, kind: Kind) {

@@ -132,6 +132,7 @@ impl<E> EventQueue<E> {
         );
         let stamp = self.stamp;
         self.stamp += 1;
+        braidio_telemetry::count("net.kernel.scheduled");
         self.heap.push(Scheduled {
             time,
             seq,
@@ -147,6 +148,7 @@ impl<E> EventQueue<E> {
         debug_assert!(ev.time >= self.now);
         self.now = ev.time;
         self.delivered += 1;
+        braidio_telemetry::count("net.kernel.delivered");
         Some(ev)
     }
 

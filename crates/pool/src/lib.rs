@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+use braidio_telemetry as telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -91,7 +92,8 @@ where
     let chunk = n.div_ceil(threads * 4).max(1);
     let nchunks = n.div_ceil(chunk);
     let next = AtomicUsize::new(0);
-    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(nchunks));
+    let done: Mutex<Vec<(usize, Vec<R>, telemetry::Batch)>> =
+        Mutex::new(Vec::with_capacity(nchunks));
 
     std::thread::scope(|s| {
         for _ in 0..threads {
@@ -102,18 +104,40 @@ where
                 }
                 let lo = c * chunk;
                 let hi = (lo + chunk).min(n);
-                let values: Vec<R> = (lo..hi).map(&f).collect();
+                let values: Vec<R> = {
+                    let _span = telemetry::span("pool.chunk");
+                    (lo..hi).map(&f).collect()
+                };
+                // Drain whatever the chunk buffered on this worker so the
+                // caller can re-inject the batches in chunk index order —
+                // the merged telemetry stream is then the one a serial run
+                // would produce, regardless of which worker ran the chunk.
+                let batch = if telemetry::active() {
+                    let mut b = telemetry::drain_thread();
+                    for sp in &mut b.spans {
+                        sp.lane = c as u32;
+                    }
+                    b
+                } else {
+                    telemetry::Batch::default()
+                };
                 done.lock()
                     .expect("worker panicked holding results")
-                    .push((c, values));
+                    .push((c, values, batch));
             });
         }
     });
 
     let mut parts = done.into_inner().expect("worker panicked holding results");
-    parts.sort_unstable_by_key(|&(c, _)| c);
+    parts.sort_unstable_by_key(|&(c, ..)| c);
     debug_assert_eq!(parts.len(), nchunks);
-    parts.into_iter().flat_map(|(_, v)| v).collect()
+    parts
+        .into_iter()
+        .flat_map(|(_, v, batch)| {
+            telemetry::inject(batch);
+            v
+        })
+        .collect()
 }
 
 /// Map `f` over a slice in parallel, returning results in input order.
@@ -184,6 +208,31 @@ mod tests {
         assert_eq!(thread_count(), 3);
         set_threads(0);
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn telemetry_merges_in_index_order_at_any_thread_count() {
+        let _guard = serialized();
+        let emit_for = |i: usize| {
+            telemetry::with_run(i as u32, || {
+                telemetry::begin_unit();
+                telemetry::emit(telemetry::Event::WakeupDetect {
+                    at: telemetry::units::Seconds::new(i as f64),
+                    track: telemetry::Track::Device(i as u32),
+                });
+                i
+            })
+        };
+        telemetry::set_enabled(true);
+        let _ = telemetry::take_events();
+        let serial = with_threads(1, || par_map_indexed(123, emit_for));
+        let serial_events = telemetry::take_events();
+        let parallel = with_threads(8, || par_map_indexed(123, emit_for));
+        let parallel_events = telemetry::take_events();
+        telemetry::set_enabled(false);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_events.len(), 123);
+        assert_eq!(serial_events, parallel_events);
     }
 
     #[test]

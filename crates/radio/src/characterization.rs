@@ -54,6 +54,16 @@ impl Rate {
     }
 }
 
+impl From<Rate> for braidio_telemetry::RateTag {
+    fn from(r: Rate) -> Self {
+        match r {
+            Rate::Kbps10 => braidio_telemetry::RateTag::Kbps10,
+            Rate::Kbps100 => braidio_telemetry::RateTag::Kbps100,
+            Rate::Mbps1 => braidio_telemetry::RateTag::Mbps1,
+        }
+    }
+}
+
 /// One row of the power table: what each side draws while moving data in a
 /// given mode at a given bitrate.
 #[derive(Debug, Clone, Copy)]

@@ -59,6 +59,16 @@ impl fmt::Display for Mode {
     }
 }
 
+impl From<Mode> for braidio_telemetry::ModeTag {
+    fn from(m: Mode) -> Self {
+        match m {
+            Mode::Active => braidio_telemetry::ModeTag::Active,
+            Mode::Passive => braidio_telemetry::ModeTag::Passive,
+            Mode::Backscatter => braidio_telemetry::ModeTag::Backscatter,
+        }
+    }
+}
+
 /// Which side of a link a device currently plays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Role {

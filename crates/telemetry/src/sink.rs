@@ -1,0 +1,641 @@
+//! Sinks: render a captured event stream, validate it, and fold it.
+//!
+//! All renderers are pure functions of the event slice, written by hand
+//! (the workspace is dependency-free — no serde). Float formatting uses
+//! Rust's `Display` for `f64`, which prints the shortest decimal that
+//! round-trips — a deterministic, host-independent encoding, so rendered
+//! traces are byte-identical whenever the event streams are.
+//!
+//! ## JSONL schema (version 1)
+//!
+//! The first line is a header object:
+//!
+//! ```json
+//! {"schema":1,"stream":"braidio-telemetry","time":"simulated-seconds"}
+//! ```
+//!
+//! Every following line is one event with this fixed key order:
+//!
+//! ```json
+//! {"run":0,"unit":1,"track":"p0","t":1.25,"ev":"replan","planned":true,"exact":true,"primary":"backscatter"}
+//! ```
+//!
+//! * `run`, `unit`, `track` — the identity triple (crate docs); `track`
+//!   is `d<N>` for a device, `p<N>` for a pair;
+//! * `t` — simulated seconds since the unit's clock zero;
+//! * `ev` — one of `mode_switch`, `replan`, `carrier_grant`,
+//!   `carrier_release`, `quantum_delivered`, `quantum_lost`,
+//!   `energy_debit`, `session_dead`, `wakeup_detect`;
+//! * variant fields: `from`/`to` (mode codes; `from` may be `null`),
+//!   `planned`/`exact`/`primary` (`primary` may be `null`), `mode`/`rate`/
+//!   `bits`, `joules`, `reason` (`battery_dead` | `no_viable_mode`).
+//!
+//! Within one `(run, unit, track)` identity `t` is monotone non-decreasing
+//! and `carrier_grant`/`carrier_release` strictly alternate starting with
+//! a grant and ending balanced — [`validate_jsonl`] checks all of it.
+
+use crate::event::{DeathReason, Event, Stamped, Track};
+use crate::span::SpanRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render `x` as a JSON number (shortest round-trip decimal).
+fn num(x: f64) -> String {
+    debug_assert!(x.is_finite(), "telemetry numbers must be finite: {x}");
+    format!("{x}")
+}
+
+/// Render the stream as schema-1 JSONL (see the module docs).
+pub fn render_jsonl(events: &[Stamped]) -> String {
+    let mut out = String::with_capacity(80 * events.len() + 80);
+    out.push_str(
+        "{\"schema\":1,\"stream\":\"braidio-telemetry\",\"time\":\"simulated-seconds\"}\n",
+    );
+    for s in events {
+        let e = &s.event;
+        let _ = write!(
+            out,
+            "{{\"run\":{},\"unit\":{},\"track\":\"{}\",\"t\":{},\"ev\":\"{}\"",
+            s.run,
+            s.unit,
+            e.track().code(),
+            num(e.at().seconds()),
+            e.name()
+        );
+        match *e {
+            Event::ModeSwitch { from, to, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"from\":{},\"to\":\"{}\"",
+                    match from {
+                        Some(m) => format!("\"{}\"", m.code()),
+                        None => "null".to_string(),
+                    },
+                    to.code()
+                );
+            }
+            Event::Replan {
+                planned,
+                exact,
+                primary,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"planned\":{planned},\"exact\":{exact},\"primary\":{}",
+                    match primary {
+                        Some(m) => format!("\"{}\"", m.code()),
+                        None => "null".to_string(),
+                    }
+                );
+            }
+            Event::CarrierGrant { .. } | Event::CarrierRelease { .. } => {}
+            Event::QuantumDelivered {
+                mode, rate, bits, ..
+            }
+            | Event::QuantumLost {
+                mode, rate, bits, ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"mode\":\"{}\",\"rate\":\"{}\",\"bits\":{}",
+                    mode.code(),
+                    rate.label(),
+                    num(bits)
+                );
+            }
+            Event::EnergyDebit { joules, .. } => {
+                let _ = write!(out, ",\"joules\":{}", num(joules.joules()));
+            }
+            Event::SessionDead { reason, .. } => {
+                let _ = write!(out, ",\"reason\":\"{}\"", reason.code());
+            }
+            Event::WakeupDetect { .. } => {}
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// The Chrome trace-event `tid` for a track within a unit: units are
+/// spread one million apart, pairs offset half a million, so a fleet's
+/// devices and pairs land on distinct, stably-ordered rows in Perfetto.
+fn chrome_tid(unit: u32, track: Track) -> u64 {
+    let base = unit as u64 * 1_000_000;
+    match track {
+        Track::Device(d) => base + d as u64,
+        Track::Pair(p) => base + 500_000 + p as u64,
+    }
+}
+
+/// Render the stream as Chrome trace-event JSON (open in Perfetto or
+/// `chrome://tracing`): one process per run, one thread row per
+/// `(unit, track)`, carrier grants/releases as B/E duration events and
+/// everything else as instants. Timestamps are simulated seconds scaled to
+/// the format's microseconds.
+pub fn render_chrome(events: &[Stamped]) -> String {
+    let mut out = String::with_capacity(160 * events.len() + 64);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+    };
+    // Metadata rows, in order of first appearance (deterministic).
+    let mut seen_runs: Vec<u32> = Vec::new();
+    let mut seen_tracks: Vec<(u32, u32, Track)> = Vec::new();
+    for s in events {
+        if !seen_runs.contains(&s.run) {
+            seen_runs.push(s.run);
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"run {}\"}}}}",
+                s.run, s.run
+            );
+        }
+        let key = (s.run, s.unit, s.event.track());
+        if !seen_tracks.contains(&key) {
+            seen_tracks.push(key);
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"u{} {}\"}}}}",
+                s.run,
+                chrome_tid(s.unit, s.event.track()),
+                s.unit,
+                s.event.track().code()
+            );
+        }
+    }
+    for s in events {
+        let e = &s.event;
+        let ts = num(e.at().seconds() * 1e6);
+        let tid = chrome_tid(s.unit, e.track());
+        sep(&mut out);
+        match *e {
+            Event::CarrierGrant { .. } => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"B\",\"pid\":{},\"tid\":{tid},\"ts\":{ts},\"name\":\"carrier\",\"cat\":\"carrier\"}}",
+                    s.run
+                );
+            }
+            Event::CarrierRelease { .. } => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"E\",\"pid\":{},\"tid\":{tid},\"ts\":{ts},\"name\":\"carrier\",\"cat\":\"carrier\"}}",
+                    s.run
+                );
+            }
+            _ => {
+                let mut args = String::new();
+                match *e {
+                    Event::ModeSwitch { from, to, .. } => {
+                        let _ = write!(
+                            args,
+                            "\"from\":\"{}\",\"to\":\"{}\"",
+                            from.map(|m| m.code()).unwrap_or("-"),
+                            to.code()
+                        );
+                    }
+                    Event::Replan {
+                        planned,
+                        exact,
+                        primary,
+                        ..
+                    } => {
+                        let _ = write!(
+                            args,
+                            "\"planned\":{planned},\"exact\":{exact},\"primary\":\"{}\"",
+                            primary.map(|m| m.code()).unwrap_or("-")
+                        );
+                    }
+                    Event::QuantumDelivered {
+                        mode, rate, bits, ..
+                    }
+                    | Event::QuantumLost {
+                        mode, rate, bits, ..
+                    } => {
+                        let _ = write!(
+                            args,
+                            "\"mode\":\"{}\",\"rate\":\"{}\",\"bits\":{}",
+                            mode.code(),
+                            rate.label(),
+                            num(bits)
+                        );
+                    }
+                    Event::EnergyDebit { joules, .. } => {
+                        let _ = write!(args, "\"joules\":{}", num(joules.joules()));
+                    }
+                    Event::SessionDead { reason, .. } => {
+                        let _ = write!(args, "\"reason\":\"{}\"", reason.code());
+                    }
+                    _ => {}
+                }
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"i\",\"pid\":{},\"tid\":{tid},\"ts\":{ts},\"name\":\"{}\",\"s\":\"t\",\"args\":{{{args}}}}}",
+                    s.run,
+                    e.name()
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render profiling spans as Chrome trace-event JSON ("X" complete
+/// events, wall-clock microseconds since the process profiling epoch, one
+/// thread row per lane).
+pub fn render_profile_chrome(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(96 * spans.len() + 64);
+    out.push_str("{\"traceEvents\":[\n");
+    for (i, s) in spans.iter().enumerate() {
+        let comma = if i + 1 < spans.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{}\"}}{comma}",
+            s.lane,
+            num(s.start_us),
+            num(s.dur_us),
+            s.name
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Render one event as the legacy tcpdump-style text line (no newline).
+///
+/// The `DATA`/`PLAN`/`DOWN`/`DEAD` formats are byte-for-byte the ones
+/// `braidio::trace::TraceEvent` has always displayed — that Display now
+/// delegates here, so pairwise and fleet traces share one vocabulary and
+/// one renderer.
+pub fn render_text_line(e: &Event) -> String {
+    let t = e.at().seconds();
+    match *e {
+        Event::QuantumDelivered {
+            mode, rate, bits, ..
+        } => format!(
+            "{:>12.6}s  DATA  {:<11} @{:<4} {:>4}B  ok",
+            t,
+            mode.label(),
+            rate.label(),
+            (bits / 8.0).round() as u64
+        ),
+        Event::QuantumLost {
+            mode, rate, bits, ..
+        } => format!(
+            "{:>12.6}s  DATA  {:<11} @{:<4} {:>4}B  LOST",
+            t,
+            mode.label(),
+            rate.label(),
+            (bits / 8.0).round() as u64
+        ),
+        Event::Replan { planned, .. } => format!(
+            "{:>12.6}s  PLAN  {}",
+            t,
+            if planned {
+                "installed"
+            } else {
+                "no viable mode"
+            }
+        ),
+        Event::SessionDead {
+            reason: DeathReason::NoViableMode,
+            ..
+        } => format!("{:>12.6}s  DOWN  link out of range", t),
+        Event::SessionDead {
+            reason: DeathReason::BatteryDead,
+            ..
+        } => format!("{:>12.6}s  DEAD  battery exhausted", t),
+        Event::ModeSwitch { from, to, .. } => format!(
+            "{:>12.6}s  MODE  {} -> {}",
+            t,
+            from.map(|m| m.label()).unwrap_or("-"),
+            to.label()
+        ),
+        Event::CarrierGrant { .. } => format!("{:>12.6}s  CARR  up", t),
+        Event::CarrierRelease { .. } => format!("{:>12.6}s  CARR  down", t),
+        Event::EnergyDebit { joules, .. } => {
+            format!("{:>12.6}s  DRAW  {:.3e} J", t, joules.joules())
+        }
+        Event::WakeupDetect { .. } => format!("{:>12.6}s  WAKE  detector fired", t),
+    }
+}
+
+/// What [`validate_jsonl`] measured about a valid trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Event lines (excluding the header).
+    pub events: usize,
+    /// Distinct `(run, unit, track)` identities.
+    pub tracks: usize,
+}
+
+/// Pull the value of `"key":` out of a rendered JSONL line. Returns string
+/// values without their quotes.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let close = stripped.find('"')?;
+        Some(&stripped[..close])
+    } else {
+        let end = rest.find([',', '}'])?;
+        Some(&rest[..end])
+    }
+}
+
+/// The closed set of event names schema 1 admits.
+const EVENT_NAMES: [&str; 9] = [
+    "mode_switch",
+    "replan",
+    "carrier_grant",
+    "carrier_release",
+    "quantum_delivered",
+    "quantum_lost",
+    "energy_debit",
+    "session_dead",
+    "wakeup_detect",
+];
+
+/// Validate a schema-1 JSONL trace: header present, every line parses
+/// with the required identity fields, event names are in the closed set,
+/// per-identity time is monotone non-decreasing, and carrier grants and
+/// releases alternate and balance per identity.
+pub fn validate_jsonl(jsonl: &str) -> Result<TraceSummary, String> {
+    let mut lines = jsonl.lines().enumerate();
+    let Some((_, header)) = lines.next() else {
+        return Err("empty trace".into());
+    };
+    if !header.contains("\"schema\":1") || !header.contains("\"stream\":\"braidio-telemetry\"") {
+        return Err(format!("bad header: {header}"));
+    }
+    // Per (run, unit, track): (last time, carrier held?).
+    let mut state: BTreeMap<(u32, u32, String), (f64, bool)> = BTreeMap::new();
+    let mut events = 0usize;
+    for (i, line) in lines {
+        let n = i + 1; // 1-based line number
+        if !(line.starts_with('{') && line.ends_with('}')) {
+            return Err(format!("line {n}: not a JSON object: {line}"));
+        }
+        let run: u32 = field(line, "run")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("line {n}: missing/bad \"run\""))?;
+        let unit: u32 = field(line, "unit")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("line {n}: missing/bad \"unit\""))?;
+        let track = field(line, "track")
+            .filter(|v| {
+                (v.starts_with('d') || v.starts_with('p'))
+                    && v.len() > 1
+                    && v[1..].chars().all(|c| c.is_ascii_digit())
+            })
+            .ok_or_else(|| format!("line {n}: missing/bad \"track\""))?;
+        let t: f64 = field(line, "t")
+            .and_then(|v| v.parse().ok())
+            .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+            .ok_or_else(|| format!("line {n}: missing/bad \"t\""))?;
+        let ev = field(line, "ev").ok_or_else(|| format!("line {n}: missing \"ev\""))?;
+        if !EVENT_NAMES.contains(&ev) {
+            return Err(format!("line {n}: unknown event \"{ev}\""));
+        }
+        let entry = state
+            .entry((run, unit, track.to_string()))
+            .or_insert((0.0, false));
+        if t < entry.0 {
+            return Err(format!(
+                "line {n}: time went backwards on ({run},{unit},{track}): {t} < {}",
+                entry.0
+            ));
+        }
+        entry.0 = t;
+        match ev {
+            "carrier_grant" => {
+                if entry.1 {
+                    return Err(format!(
+                        "line {n}: carrier_grant while already granted on ({run},{unit},{track})"
+                    ));
+                }
+                entry.1 = true;
+            }
+            "carrier_release" => {
+                if !entry.1 {
+                    return Err(format!(
+                        "line {n}: carrier_release without a grant on ({run},{unit},{track})"
+                    ));
+                }
+                entry.1 = false;
+            }
+            _ => {}
+        }
+        events += 1;
+    }
+    for ((run, unit, track), (_, held)) in &state {
+        if *held {
+            return Err(format!(
+                "unreleased carrier_grant on ({run},{unit},{track})"
+            ));
+        }
+    }
+    Ok(TraceSummary {
+        events,
+        tracks: state.len(),
+    })
+}
+
+/// Fold every `EnergyDebit` in stream order into a per-`(run, track)`
+/// ledger (joules). Summation follows the stream, which for a serial (or
+/// pool-merged) capture is the exact order the engine charged the
+/// batteries in — so the ledger reproduces each device's `spent`
+/// accumulator bit-for-bit, and the fleet audit can assert equality to
+/// 1e-9 without worrying about float reassociation.
+pub fn fold_energy(events: &[Stamped]) -> BTreeMap<(u32, Track), f64> {
+    let mut ledger = BTreeMap::new();
+    for s in events {
+        if let Event::EnergyDebit { track, joules, .. } = s.event {
+            *ledger.entry((s.run, track)).or_insert(0.0) += joules.joules();
+        }
+    }
+    ledger
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ModeTag, RateTag};
+    use braidio_units::{Joules, Seconds};
+
+    fn sample() -> Vec<Stamped> {
+        let p = Track::Pair(0);
+        let d = Track::Device(1);
+        let s = |event| Stamped {
+            run: 3,
+            unit: 1,
+            event,
+        };
+        vec![
+            s(Event::WakeupDetect {
+                at: Seconds::new(0.0),
+                track: d,
+            }),
+            s(Event::Replan {
+                at: Seconds::new(0.001),
+                track: p,
+                planned: true,
+                exact: true,
+                primary: Some(ModeTag::Backscatter),
+            }),
+            s(Event::ModeSwitch {
+                at: Seconds::new(0.001),
+                track: p,
+                from: None,
+                to: ModeTag::Backscatter,
+            }),
+            s(Event::CarrierGrant {
+                at: Seconds::new(0.001),
+                track: p,
+            }),
+            s(Event::EnergyDebit {
+                at: Seconds::new(0.2),
+                track: d,
+                joules: Joules::new(0.125),
+            }),
+            s(Event::EnergyDebit {
+                at: Seconds::new(0.2),
+                track: d,
+                joules: Joules::new(0.25),
+            }),
+            s(Event::QuantumDelivered {
+                at: Seconds::new(0.2),
+                track: p,
+                mode: ModeTag::Backscatter,
+                rate: RateTag::Mbps1,
+                bits: 512.0,
+            }),
+            s(Event::CarrierRelease {
+                at: Seconds::new(0.2),
+                track: p,
+            }),
+            s(Event::SessionDead {
+                at: Seconds::new(0.2),
+                track: p,
+                reason: DeathReason::BatteryDead,
+            }),
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_validator() {
+        let jsonl = render_jsonl(&sample());
+        let summary = validate_jsonl(&jsonl).expect("valid");
+        assert_eq!(summary.events, 9);
+        assert_eq!(summary.tracks, 2);
+        assert!(jsonl.contains(
+            "\"ev\":\"replan\",\"planned\":true,\"exact\":true,\"primary\":\"backscatter\""
+        ));
+        assert!(jsonl.contains("\"joules\":0.125"));
+    }
+
+    #[test]
+    fn validator_rejects_time_reversal() {
+        let mut bad = sample();
+        bad.push(Stamped {
+            run: 3,
+            unit: 1,
+            event: Event::Replan {
+                at: Seconds::new(0.1),
+                track: Track::Pair(0),
+                planned: false,
+                exact: false,
+                primary: None,
+            },
+        });
+        let err = validate_jsonl(&render_jsonl(&bad)).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_grants() {
+        let mut bad = sample();
+        bad.truncate(5); // drop the release (and what follows)
+        let err = validate_jsonl(&render_jsonl(&bad)).unwrap_err();
+        assert!(err.contains("unreleased"), "{err}");
+
+        let mut double = sample();
+        double.insert(
+            4,
+            Stamped {
+                run: 3,
+                unit: 1,
+                event: Event::CarrierGrant {
+                    at: Seconds::new(0.002),
+                    track: Track::Pair(0),
+                },
+            },
+        );
+        let err = validate_jsonl(&render_jsonl(&double)).unwrap_err();
+        assert!(err.contains("already granted"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_foreign_events() {
+        let jsonl = "{\"schema\":1,\"stream\":\"braidio-telemetry\",\"time\":\"simulated-seconds\"}\n{\"run\":0,\"unit\":0,\"track\":\"p0\",\"t\":0,\"ev\":\"surprise\"}\n";
+        assert!(validate_jsonl(jsonl).unwrap_err().contains("unknown event"));
+    }
+
+    #[test]
+    fn energy_ledger_folds_in_stream_order() {
+        let ledger = fold_energy(&sample());
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger[&(3, Track::Device(1))], 0.375);
+    }
+
+    #[test]
+    fn text_renderer_keeps_the_legacy_formats() {
+        let line = render_text_line(&Event::QuantumDelivered {
+            at: Seconds::new(0.000123),
+            track: Track::Pair(0),
+            mode: ModeTag::Backscatter,
+            rate: RateTag::Mbps1,
+            bits: 512.0,
+        });
+        assert_eq!(line, "    0.000123s  DATA  Backscatter @1M     64B  ok");
+        let line = render_text_line(&Event::SessionDead {
+            at: Seconds::new(1.0),
+            track: Track::Pair(0),
+            reason: DeathReason::NoViableMode,
+        });
+        assert_eq!(line, "    1.000000s  DOWN  link out of range");
+    }
+
+    #[test]
+    fn chrome_trace_has_tracks_and_carrier_slices() {
+        let chrome = render_chrome(&sample());
+        assert!(chrome.contains("\"name\":\"process_name\""));
+        assert!(chrome.contains("\"name\":\"u1 p0\""));
+        assert!(chrome.contains("\"ph\":\"B\""));
+        assert!(chrome.contains("\"ph\":\"E\""));
+        assert!(chrome.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn profile_chrome_renders_complete_events() {
+        let spans = [SpanRecord {
+            name: "net.replan",
+            lane: 2,
+            start_us: 10.0,
+            dur_us: 1.5,
+        }];
+        let out = render_profile_chrome(&spans);
+        assert!(out.contains("\"ph\":\"X\""));
+        assert!(out.contains("\"tid\":2"));
+        assert!(out.contains("\"dur\":1.5"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Wall-clock profiling spans.
+//!
+//! Spans measure where *host* time goes (re-plan solving, pool chunks) and
+//! are the only place wall clock is allowed into telemetry: they live in a
+//! stream separate from the simulated-time events, so event traces stay
+//! deterministic while profiles do not pretend to be.
+//!
+//! Usage: `let _span = telemetry::span("net.replan");` — the span records
+//! itself when dropped. When profiling is off ([`crate::profiling`]), the
+//! guard is inert and the only cost is one relaxed atomic load.
+
+use crate::bus;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process profiling epoch: all span timestamps are microseconds since
+/// the first span (or explicit epoch touch) of the process.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanRecord {
+    /// Static span name (`net.replan`, `pool.chunk`, ...).
+    pub name: &'static str,
+    /// Display lane; the pool rewrites this to the chunk index so
+    /// concurrent chunks render on separate tracks.
+    pub lane: u32,
+    /// Start, µs of wall clock since the process profiling epoch.
+    pub start_us: f64,
+    /// Duration, µs of wall clock.
+    pub dur_us: f64,
+}
+
+/// An active span guard; records a [`SpanRecord`] on drop.
+#[must_use = "a span measures the scope it is bound to; binding it to _ drops it immediately"]
+#[derive(Debug)]
+pub struct Span(Option<(&'static str, Instant)>);
+
+/// Open a span named `name` (inert unless profiling is on).
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !bus::profiling() {
+        return Span(None);
+    }
+    let e = epoch(); // pin the epoch before taking the start time
+    let _ = e;
+    Span(Some((name, Instant::now())))
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((name, start)) = self.0.take() else {
+            return;
+        };
+        let dur_us = start.elapsed().as_secs_f64() * 1e6;
+        let start_us = start.duration_since(epoch()).as_secs_f64() * 1e6;
+        bus::push_span(SpanRecord {
+            name,
+            lane: 0,
+            start_us,
+            dur_us,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_without_profiling() {
+        let _g = bus::test_lock();
+        // Event capture alone must not record spans.
+        let _ = bus::take_spans();
+        {
+            let _s = span("test.inert");
+        }
+        assert!(bus::take_spans().is_empty());
+    }
+
+    #[test]
+    fn records_when_profiling() {
+        let _g = bus::test_lock();
+        let _ = bus::take_spans();
+        bus::set_profiling(true);
+        {
+            let _s = span("test.scope");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        bus::set_profiling(false);
+        let spans = bus::take_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "test.scope");
+        assert!(spans[0].dur_us >= 500.0, "dur {}", spans[0].dur_us);
+        assert!(spans[0].start_us >= 0.0);
+    }
+}
