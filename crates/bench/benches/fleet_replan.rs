@@ -1,0 +1,155 @@
+//! Macrobench: the large-fleet re-plan wave, brute-force vs cached.
+//!
+//! One "wave" is what the fleet engine does at every re-plan tick: compute
+//! the worst-case foreign-carrier power at all M victims, then derive each
+//! pair's mode/rate option set under it. The brute arms reconstruct the
+//! original path (a fresh O(M) source scan per victim — O(M²) per wave,
+//! plus a full `options_under` evaluation per pair); the cached arms run
+//! the production path (`PairGainCache` steady-state sums, `OptionsMemo`
+//! hits). Both compute bit-identical answers — the determinism suite and
+//! the debug-build shadow check enforce that — so the arms measure the
+//! same computation. The EXPERIMENTS.md large-fleet table quotes the
+//! 64-pair wave numbers from here.
+
+use braidio_net::cache::PairGainCache;
+use braidio_net::interference::{
+    carrier_contribution, interference_at, options_under, CarrierSource, OptionsMemo,
+};
+use braidio_net::{run_fleet, Arbitration, FleetScenario};
+use braidio_units::{Meters, Seconds, Watts};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const PAIRS: usize = 64;
+
+fn scale_scenario(arb: Arbitration) -> FleetScenario {
+    FleetScenario::grid_pairs(PAIRS, Meters::new(0.5), Meters::new(3.0), 1.0, 1.0, arb)
+        .with_horizon(Seconds::new(30.0))
+}
+
+/// The original interference path: every victim rebuilds its full source
+/// list and re-evaluates every edge — exactly what `interference_for` did
+/// before the cache.
+fn wave_brute(sc: &FleetScenario) -> f64 {
+    let mut acc = 0.0;
+    for p in 0..sc.pairs.len() {
+        let victim = sc.devices[sc.pairs[p].rx].pos;
+        let sources: Vec<CarrierSource> = sc
+            .pairs
+            .iter()
+            .enumerate()
+            .filter(|&(q, _)| q != p)
+            .map(|(q, qp)| {
+                let a = sc.devices[qp.tx].pos;
+                let b = sc.devices[qp.rx].pos;
+                let pos = if a.distance(victim) <= b.distance(victim) {
+                    a
+                } else {
+                    b
+                };
+                CarrierSource {
+                    pos,
+                    rf: sc.ch.carrier_rf,
+                    relation: sc.arbitration.relation(p, q),
+                }
+            })
+            .collect();
+        acc += interference_at(&sc.ch, victim, &sources).watts();
+    }
+    acc
+}
+
+/// The production interference path: cached per-edge contributions, sums
+/// replayed only when dirty.
+fn wave_cached(cache: &mut PairGainCache, sc: &FleetScenario) -> f64 {
+    let mut acc = 0.0;
+    for p in 0..sc.pairs.len() {
+        let victim = sc.devices[sc.pairs[p].rx].pos;
+        let w = cache.interference(
+            p,
+            |q| {
+                let qp = &sc.pairs[q];
+                (sc.devices[qp.tx].pos, sc.devices[qp.rx].pos)
+            },
+            |q| {
+                let qp = &sc.pairs[q];
+                let a = sc.devices[qp.tx].pos;
+                let b = sc.devices[qp.rx].pos;
+                let pos = if a.distance(victim) <= b.distance(victim) {
+                    a
+                } else {
+                    b
+                };
+                carrier_contribution(
+                    &sc.ch,
+                    victim,
+                    &CarrierSource {
+                        pos,
+                        rf: sc.ch.carrier_rf,
+                        relation: sc.arbitration.relation(p, q),
+                    },
+                )
+            },
+        );
+        acc += w.watts();
+    }
+    acc
+}
+
+fn bench_interference_wave(c: &mut Criterion) {
+    let sc = scale_scenario(Arbitration::Uncoordinated);
+    c.bench_function("fleet_replan/interference_wave/brute/64", |b| {
+        b.iter(|| black_box(wave_brute(&sc)))
+    });
+    // Steady state: every sum is clean, a wave is M flag checks + loads.
+    let mut cache = PairGainCache::new(PAIRS);
+    wave_cached(&mut cache, &sc);
+    c.bench_function("fleet_replan/interference_wave/cached_steady/64", |b| {
+        b.iter(|| black_box(wave_cached(&mut cache, &sc)))
+    });
+    // After a mobility event: one pair's row/column recomputes, every
+    // other edge replays from cache in pair-index order.
+    c.bench_function("fleet_replan/interference_wave/cached_after_move/64", |b| {
+        b.iter(|| {
+            cache.invalidate_pair(0);
+            black_box(wave_cached(&mut cache, &sc))
+        })
+    });
+}
+
+fn bench_options(c: &mut Criterion) {
+    let sc = scale_scenario(Arbitration::Uncoordinated);
+    let d = Meters::new(0.5);
+    let interference = Watts::new(1e-9);
+    c.bench_function("fleet_replan/options/cold", |b| {
+        b.iter(|| black_box(options_under(&sc.ch, d, interference)))
+    });
+    let mut memo = OptionsMemo::new();
+    memo.get(&sc.ch, d, interference, None);
+    c.bench_function("fleet_replan/options/memoized", |b| {
+        b.iter(|| black_box(memo.get(&sc.ch, d, interference, None)))
+    });
+}
+
+fn bench_full_scenario(c: &mut Criterion) {
+    // The end-to-end rung the CI smoke runs: 64 pairs, full horizon, one
+    // arbitration policy per arm (TDMA exercises the finish-time window
+    // arithmetic, uncoordinated the dense interference sums).
+    let unco = scale_scenario(Arbitration::Uncoordinated);
+    c.bench_function("fleet_replan/full_scenario/uncoordinated/64", |b| {
+        b.iter(|| black_box(run_fleet(&unco)))
+    });
+    let tdma = scale_scenario(Arbitration::TdmaRoundRobin {
+        slot: Seconds::new(0.25),
+    });
+    c.bench_function("fleet_replan/full_scenario/tdma/64", |b| {
+        b.iter(|| black_box(run_fleet(&tdma)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_interference_wave,
+    bench_options,
+    bench_full_scenario
+);
+criterion_main!(benches);

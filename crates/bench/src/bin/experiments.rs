@@ -7,6 +7,7 @@
 //! experiments fig15 fig16            # a subset
 //! experiments all --jobs 4 --timing  # 4 worker threads, per-experiment timing
 //! experiments all --bench-json t.json# machine-readable timing report
+//! experiments fleet --scale 64       # large-fleet rung: 64 pairs x 3 policies
 //! experiments fleet --trace-events fleet.jsonl   # simulated-time event trace
 //! experiments fleet --trace-chrome fleet.trace   # Perfetto-loadable trace
 //! experiments fleet --profile prof.trace         # wall-clock span profile
@@ -39,6 +40,8 @@ struct Cli {
     profile: Option<String>,
     /// Worker-thread override (`--jobs N`), if given.
     jobs: Option<usize>,
+    /// Large-fleet pair count for the `fleet` experiment (`--scale N`).
+    scale: Option<usize>,
 }
 
 fn main() {
@@ -55,6 +58,9 @@ fn main() {
 
     if let Some(n) = cli.jobs {
         braidio::pool::set_threads(n);
+    }
+    if let Some(n) = cli.scale {
+        braidio_bench::fleet::set_scale(n);
     }
     if cli.trace_events.is_some() || cli.trace_chrome.is_some() {
         telemetry::set_enabled(true);
@@ -247,6 +253,7 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
     let mut trace_chrome: Option<String> = None;
     let mut profile: Option<String> = None;
     let mut jobs: Option<usize> = None;
+    let mut scale: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -280,6 +287,19 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
                     return Err(format!("{arg} 0: need at least one thread"));
                 }
                 jobs = Some(n);
+            }
+            "--scale" => {
+                let v = it
+                    .next()
+                    .filter(|v| !v.starts_with('-'))
+                    .ok_or_else(|| format!("{arg} needs a pair count"))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("{arg} {v}: not a pair count"))?;
+                if n == 0 {
+                    return Err(format!("{arg} 0: need at least one pair"));
+                }
+                scale = Some(n);
             }
             name if name.starts_with('-') => return Err(format!("unknown flag '{name}'")),
             name => match lookup(name) {
@@ -315,6 +335,9 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
             .map(|n| lookup(n).expect("validated"))
             .collect()
     };
+    if scale.is_some() && !runs.iter().any(|(id, _)| *id == "fleet") {
+        return Err("--scale only affects the 'fleet' experiment — add it to the selection".into());
+    }
     Ok(Some(Cli {
         runs,
         timing,
@@ -323,12 +346,14 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
         trace_chrome,
         profile,
         jobs,
+        scale,
     }))
 }
 
 fn usage() {
-    eprintln!("usage: experiments <selection> [--jobs N] [--timing] [--bench-json PATH]");
-    eprintln!("                   [--trace-events PATH] [--trace-chrome PATH] [--profile PATH]");
+    eprintln!("usage: experiments <selection> [--jobs N] [--scale N] [--timing]");
+    eprintln!("                   [--bench-json PATH] [--trace-events PATH]");
+    eprintln!("                   [--trace-chrome PATH] [--profile PATH]");
     eprintln!();
     eprintln!("selection (validated before anything runs):");
     eprintln!("  all            every experiment, in paper order");
@@ -341,6 +366,10 @@ fn usage() {
     eprintln!("flags:");
     eprintln!("  --jobs N, -j N worker threads for the simulation pool");
     eprintln!("                 (default: BRAIDIO_THREADS or the CPU count;");
+    eprintln!("                  results are identical at any thread count)");
+    eprintln!("  --scale N      run 'fleet' as the large-fleet scale family:");
+    eprintln!("                 N pairs on a room grid under every arbitration");
+    eprintln!("                  policy (32/64/128/256 are the benched rungs;");
     eprintln!("                  results are identical at any thread count)");
     eprintln!("  --timing       per-experiment wall-clock report on stderr");
     eprintln!("  --bench-json PATH");

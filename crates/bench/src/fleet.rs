@@ -15,6 +15,7 @@ use braidio_net::{run_fleet, Arbitration, FleetReport, FleetScenario};
 use braidio_radio::characterization::Characterization;
 use braidio_radio::Mode;
 use braidio_units::{Meters, Seconds};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 const SLOT: Seconds = Seconds::new(0.25);
 const PAIR_SEP: Meters = Meters::new(0.5);
@@ -22,6 +23,19 @@ const SPACING: Meters = Meters::new(3.0);
 const ROOM_HORIZON: Seconds = Seconds::new(30.0);
 const STAR_HORIZON: Seconds = Seconds::new(120.0);
 const TAG_WH: f64 = 0.001;
+
+/// The pair-count rungs of the large-fleet scale family
+/// (`experiments fleet --scale N`).
+pub const SCALE_LADDER: [usize; 4] = [32, 64, 128, 256];
+
+/// Requested `--scale` rung; 0 means the default grid.
+static SCALE: AtomicUsize = AtomicUsize::new(0);
+
+/// Select the large-fleet scale family for subsequent [`run`] calls
+/// (`experiments fleet --scale N`). `0` restores the default grid.
+pub fn set_scale(pairs: usize) {
+    SCALE.store(pairs, Ordering::Relaxed);
+}
 
 fn policies() -> [Arbitration; 3] {
     [
@@ -71,6 +85,24 @@ pub fn scenarios() -> Vec<(&'static str, FleetScenario)> {
         ));
     }
     out
+}
+
+/// The `--scale` grid at `m` pairs: a √m × √m room grid under each
+/// arbitration policy, far-field cull enabled (bitwise-neutral in-room —
+/// validated by the cull equality tests). Public so the determinism suite
+/// can re-run the exact grid at different thread counts.
+pub fn scale_scenarios(m: usize) -> Vec<(&'static str, FleetScenario)> {
+    policies()
+        .into_iter()
+        .map(|arb| {
+            (
+                "scale",
+                FleetScenario::grid_pairs(m, PAIR_SEP, SPACING, 1.0, 1.0, arb)
+                    .with_horizon(ROOM_HORIZON)
+                    .with_far_field_cull(),
+            )
+        })
+        .collect()
 }
 
 /// Mean fraction of the tags' batteries spent (devices 1.. are the tags).
@@ -149,8 +181,92 @@ fn audit_energy_ledger(base: u32, reports: &[FleetReport]) {
     );
 }
 
+/// Run the large-fleet scale rung: `m` pairs on a room grid under all
+/// three arbitration policies. Stdout carries only simulated quantities
+/// (byte-identical at any `--jobs` count); wall-clock re-plan latency goes
+/// to the metric registry (`--bench-json`) and stderr.
+pub fn run_scale(m: usize) {
+    banner(
+        "Fleet scale",
+        "Large-fleet arbitration: hundreds of pairs on a room grid",
+    );
+    let grid = scale_scenarios(m);
+    // Profile regardless of `--profile`, so `--bench-json` always carries
+    // the re-plan latency distribution and interference-update counters.
+    let prev_profiling = braidio_telemetry::profiling();
+    braidio_telemetry::set_profiling(true);
+    let spans_before = braidio_telemetry::spans_snapshot().len();
+    let reports = run_grid(&grid);
+    let spans = braidio_telemetry::spans_snapshot();
+    braidio_telemetry::set_profiling(prev_profiling);
+    let mut replans: Vec<f64> = spans[spans_before..]
+        .iter()
+        .filter(|s| s.name == "net.replan")
+        .map(|s| s.dur_us)
+        .collect();
+    for us in &replans {
+        metrics::observe("fleet.scale.replan_latency_s", us * 1e-6);
+    }
+    // Wall-clock distribution: stderr only, so stdout stays byte-stable.
+    replans.sort_by(|a, b| a.partial_cmp(b).expect("span durations are finite"));
+    if !replans.is_empty() {
+        let q = |p: f64| replans[((p * replans.len() as f64).ceil() as usize).max(1) - 1];
+        eprintln!(
+            "fleet scale: {} re-plans profiled, p50 {:.1} us, p95 {:.1} us, max {:.1} us",
+            replans.len(),
+            q(0.50),
+            q(0.95),
+            q(1.00),
+        );
+    }
+
+    println!(
+        "scale: {m} pairs on a room grid ({} m links, {} m pitch, 1 Wh each, {:.0} s horizon;",
+        PAIR_SEP.meters(),
+        SPACING.meters(),
+        ROOM_HORIZON.seconds()
+    );
+    println!("       far-field cull on; goodput in bit/s):");
+    println!(
+        "{:>14} {:>15} {:>9} {:>12} {:>13} {:>9}",
+        "policy", "goodput/pair", "fairness", "bs+passive", "carrier duty", "nJ/bit"
+    );
+    for (arb, r) in policies().iter().zip(&reports) {
+        println!(
+            "{:>14} {:>15.0} {:>9.3} {:>11.0}% {:>12.0}% {:>9.1}",
+            arb.label(),
+            r.goodput_per_pair(),
+            r.fairness(),
+            100.0 * detector_share(r),
+            100.0 * mean_carrier_duty(r),
+            nj_per_bit(r),
+        );
+        metrics::record(
+            &format!(
+                "fleet.scale.m{m}.{}.goodput_bps",
+                arb.label().replace('-', "_")
+            ),
+            r.goodput_per_pair(),
+        );
+        metrics::record(
+            &format!(
+                "fleet.scale.m{m}.{}.fairness",
+                arb.label().replace('-', "_")
+            ),
+            r.fairness(),
+        );
+    }
+    println!("\n=> the arbitration story survives the scale-up: an uncoordinated room of");
+    println!("   {m} carriers still erases the detector modes, while round-robin TDMA");
+    println!("   trades per-pair airtime for interference-free slots.");
+}
+
 /// Run the fleet experiment.
 pub fn run() {
+    let scale = SCALE.load(Ordering::Relaxed);
+    if scale != 0 {
+        return run_scale(scale);
+    }
     banner(
         "Fleet",
         "Multi-device network simulation: carrier arbitration at room scale",

@@ -111,6 +111,32 @@ fn fleet_grid_identical_at_1_and_4_threads() {
 }
 
 #[test]
+fn fleet_scale_identical_at_1_and_4_threads() {
+    // The large-fleet rung (`experiments fleet --scale`) must hold the
+    // same guarantee as the default grid: the cached interference sums,
+    // options memo, and far-field cull are all per-engine state, so a
+    // 32-pair scenario sharded across the pool comes back bit-identical.
+    let grid = fleet::scale_scenarios(32);
+    let run = |n| pool::with_threads(n, || braidio_pool::par_map(&grid, |(_, sc)| run_fleet(sc)));
+    let serial = run(1);
+    let par = run(4);
+    assert_eq!(serial.len(), par.len());
+    for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+        assert_eq!(a.events, b.events, "scenario {i}");
+        for (p, (x, y)) in a.pair_bits.iter().zip(&b.pair_bits).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "scenario {i} pair {p}");
+        }
+        for (d, (x, y)) in a.device_spent.iter().zip(&b.device_spent).enumerate() {
+            assert_eq!(
+                x.joules().to_bits(),
+                y.joules().to_bits(),
+                "scenario {i} device {d}"
+            );
+        }
+    }
+}
+
+#[test]
 fn device_matrix_identical_at_1_and_4_threads() {
     let serial = pool::with_threads(1, || render::matrix_values(fig15::cell));
     let par = pool::with_threads(4, || render::matrix_values(fig15::cell));

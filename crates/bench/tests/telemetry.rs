@@ -49,6 +49,33 @@ fn fleet_trace_byte_identical_at_1_and_4_threads() {
 }
 
 #[test]
+fn fleet_scale_trace_byte_identical_at_1_and_4_threads() {
+    // The determinism suite's scale gate, with telemetry capture on: a
+    // 32-pair scenario family traced at 1 and 4 threads renders the same
+    // JSONL byte-for-byte (events re-injected in chunk index order), and
+    // the trace passes its own validator at scale.
+    let _guard = FLAGS.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::set_run_base(0);
+    let traced = |threads: usize| {
+        telemetry::take_events();
+        telemetry::set_enabled(true);
+        let grid = fleet::scale_scenarios(32);
+        pool::with_threads(threads, || fleet::run_grid(&grid));
+        telemetry::set_enabled(false);
+        sink::render_jsonl(&telemetry::take_events())
+    };
+    let serial = traced(1);
+    let par = traced(4);
+    assert!(serial == par, "scale trace differs between 1 and 4 threads");
+    let summary = sink::validate_jsonl(&serial).expect("valid trace");
+    assert!(
+        summary.events > 1000,
+        "suspiciously small: {}",
+        summary.events
+    );
+}
+
+#[test]
 fn energy_ledger_reconstructs_battery_drain() {
     let _guard = FLAGS.lock().unwrap_or_else(|e| e.into_inner());
     telemetry::set_run_base(0);

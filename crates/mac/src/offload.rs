@@ -66,6 +66,61 @@ impl LinkOption {
     }
 }
 
+/// Inline padding for unused [`OptionSet`] / [`Allocations`] slots. Never
+/// observable: both types expose only their live prefix through `Deref`.
+const FILL_OPTION: LinkOption = LinkOption {
+    mode: Mode::Active,
+    rate: Rate::Kbps10,
+    tx_cost: JoulesPerBit::ZERO,
+    rx_cost: JoulesPerBit::ZERO,
+};
+
+/// A fixed-capacity, `Copy` option list: at most one option per mode — the
+/// shape [`options_at`] (and `braidio-net`'s interference-aware variant)
+/// always produces. Keeping the set inline lets planners memoize and pass
+/// option sets around without heap traffic; it derefs to `[LinkOption]`,
+/// so everything that consumes a slice keeps working.
+#[derive(Clone, Copy, PartialEq)]
+pub struct OptionSet {
+    items: [LinkOption; Mode::ALL.len()],
+    len: u8,
+}
+
+impl OptionSet {
+    /// The empty set.
+    pub const EMPTY: OptionSet = OptionSet {
+        items: [FILL_OPTION; Mode::ALL.len()],
+        len: 0,
+    };
+
+    /// Append an option (panics beyond one slot per mode).
+    pub fn push(&mut self, o: LinkOption) {
+        self.items[self.len as usize] = o;
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for OptionSet {
+    type Target = [LinkOption];
+    fn deref(&self) -> &[LinkOption] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a OptionSet {
+    type Item = &'a LinkOption;
+    type IntoIter = std::slice::Iter<'a, LinkOption>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl std::fmt::Debug for OptionSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
 /// The options a Braidio pair can use at distance `d` — every mode at its
 /// *fastest operational* bitrate (slower rates of the same mode are
 /// strictly dominated on both axes and never enter an optimal plan).
@@ -96,11 +151,64 @@ pub struct Allocation {
     pub fraction: f64,
 }
 
+const FILL_ALLOCATION: Allocation = Allocation {
+    option: FILL_OPTION,
+    fraction: 0.0,
+};
+
+/// A plan's allocation list, stored inline so [`OffloadPlan`] is `Copy`
+/// (the fleet engine installs, memoizes and re-reads plans on its hot
+/// path). The solver proves at most two options are ever braided; capacity
+/// is one slot per mode to also cover hand-built test plans. Derefs to
+/// `[Allocation]`, exposing only the live prefix.
+#[derive(Clone, Copy)]
+pub struct Allocations {
+    items: [Allocation; Mode::ALL.len()],
+    len: u8,
+}
+
+impl Allocations {
+    /// An allocation list copied from `items` (at most one per mode).
+    pub fn from_slice(items: &[Allocation]) -> Self {
+        assert!(
+            items.len() <= Mode::ALL.len(),
+            "a plan braids at most one option per mode"
+        );
+        let mut a = Allocations {
+            items: [FILL_ALLOCATION; Mode::ALL.len()],
+            len: items.len() as u8,
+        };
+        a.items[..items.len()].copy_from_slice(items);
+        a
+    }
+}
+
+impl std::ops::Deref for Allocations {
+    type Target = [Allocation];
+    fn deref(&self) -> &[Allocation] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a Allocations {
+    type Item = &'a Allocation;
+    type IntoIter = std::slice::Iter<'a, Allocation>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl std::fmt::Debug for Allocations {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
 /// The solver's output: a braid of at most two options.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct OffloadPlan {
     /// Non-zero allocations (1 or 2 entries, fractions summing to 1).
-    pub allocations: Vec<Allocation>,
+    pub allocations: Allocations,
     /// Blended transmitter cost per bit.
     pub tx_cost: JoulesPerBit,
     /// Blended receiver cost per bit.
@@ -135,10 +243,10 @@ impl OffloadPlan {
 
     fn single(option: LinkOption, exact: bool) -> Self {
         OffloadPlan {
-            allocations: vec![Allocation {
+            allocations: Allocations::from_slice(&[Allocation {
                 option,
                 fraction: 1.0,
-            }],
+            }]),
             tx_cost: option.tx_cost,
             rx_cost: option.rx_cost,
             exact,
@@ -153,7 +261,7 @@ impl OffloadPlan {
             p * i.rx_cost.joules_per_bit() + (1.0 - p) * j.rx_cost.joules_per_bit(),
         );
         OffloadPlan {
-            allocations: vec![
+            allocations: Allocations::from_slice(&[
                 Allocation {
                     option: i,
                     fraction: p,
@@ -162,7 +270,7 @@ impl OffloadPlan {
                     option: j,
                     fraction: 1.0 - p,
                 },
-            ],
+            ]),
             tx_cost: tx,
             rx_cost: rx,
             exact: true,
@@ -196,10 +304,10 @@ pub fn solve(options: &[LinkOption], e1: Joules, e2: Joules) -> Option<OffloadPl
         "both endpoints need energy"
     );
     let k = e1 / e2;
-    let a: Vec<f64> = options
-        .iter()
-        .map(|o| o.tx_cost.joules_per_bit() - k * o.rx_cost.joules_per_bit())
-        .collect();
+    // `aᵢ` recomputed on the fly (≤ 3 options, 2 flops each) instead of a
+    // collected `Vec`: the solver sits on the fleet engine's planning wave,
+    // which must be allocation-free in steady state.
+    let a = |o: &LinkOption| o.tx_cost.joules_per_bit() - k * o.rx_cost.joules_per_bit();
 
     let mut best: Option<OffloadPlan> = None;
     let mut consider = |cand: OffloadPlan| {
@@ -216,19 +324,24 @@ pub fn solve(options: &[LinkOption], e1: Joules, e2: Joules) -> Option<OffloadPl
     };
 
     // Single options that are already exactly proportional.
-    for (i, o) in options.iter().enumerate() {
-        if a[i].abs() <= 1e-12 * o.total_cost().joules_per_bit().max(1e-30) {
+    for o in options {
+        if a(o).abs() <= 1e-12 * o.total_cost().joules_per_bit().max(1e-30) {
             consider(OffloadPlan::single(*o, true));
         }
     }
     // Opposite-sign pairs.
     for i in 0..options.len() {
+        let ai = a(&options[i]);
+        if ai <= 0.0 {
+            continue;
+        }
         for j in 0..options.len() {
-            if i == j || a[i] <= 0.0 || a[j] >= 0.0 {
+            let aj = a(&options[j]);
+            if i == j || aj >= 0.0 {
                 continue;
             }
             // a_i > 0, a_j < 0: p·a_i + (1−p)·a_j = 0.
-            let p = -a[j] / (a[i] - a[j]);
+            let p = -aj / (ai - aj);
             if (0.0..=1.0).contains(&p) {
                 consider(OffloadPlan::pair(options[i], options[j], p));
             }
@@ -240,7 +353,7 @@ pub fn solve(options: &[LinkOption], e1: Joules, e2: Joules) -> Option<OffloadPl
 
     // Infeasible: k outside the achievable asymmetry span. The limiting
     // side is fixed, so maximize bits by minimizing its per-bit cost.
-    let plan = if a.iter().all(|&x| x > 0.0) {
+    let plan = if options.iter().all(|o| a(o) > 0.0) {
         // Every option drains the transmitter relatively faster than the
         // battery ratio allows: TX-limited. Minimize T.
         let o = options
@@ -315,7 +428,7 @@ pub fn solve_memo(options: &[LinkOption], e1: Joules, e2: Joules) -> Option<Offl
         // interleaving over the process-wide cache, so it must never enter
         // the deterministic event stream.
         braidio_telemetry::count("mac.offload.memo_hit");
-        return plan.clone();
+        return *plan;
     }
     // Canonical solve on the quantized ratio: the cached value is a pure
     // function of the key, independent of the exact (e1, e2) that missed.
@@ -324,7 +437,7 @@ pub fn solve_memo(options: &[LinkOption], e1: Joules, e2: Joules) -> Option<Offl
     if cache.len() >= MEMO_CAP {
         cache.clear();
     }
-    cache.insert(key, plan.clone());
+    cache.insert(key, plan);
     braidio_telemetry::count("mac.offload.memo_miss");
     plan
 }

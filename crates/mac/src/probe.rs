@@ -27,11 +27,13 @@ pub struct ModeProbe {
     pub snr: Decibels,
 }
 
-/// Outcome of a full probing round.
-#[derive(Debug, Clone)]
+/// Outcome of a full probing round. One fixed-size slot per mode keeps the
+/// report `Copy` and a probe round heap-free — the fleet engine probes on
+/// every planning wave.
+#[derive(Debug, Clone, Copy)]
 pub struct ProbeReport {
     /// Per-mode results in `Mode::ALL` order.
-    pub probes: Vec<ModeProbe>,
+    pub probes: [ModeProbe; Mode::ALL.len()],
     /// Time spent probing.
     pub airtime: Seconds,
     /// Energy spent at the initiating side.
@@ -81,12 +83,16 @@ impl LinkProber {
 
     /// Probe all modes at distance `d`.
     pub fn probe(&mut self, ch: &Characterization, d: Meters) -> ProbeReport {
-        let mut probes = Vec::new();
+        let mut probes = [ModeProbe {
+            mode: Mode::Active,
+            best_rate: None,
+            snr: Decibels::ZERO,
+        }; Mode::ALL.len()];
         let mut airtime = Seconds::ZERO;
         let mut e_init = Joules::ZERO;
         let mut e_resp = Joules::ZERO;
 
-        for mode in Mode::ALL {
+        for (slot, mode) in probes.iter_mut().zip(Mode::ALL) {
             let wobble = match &mut self.shadowing {
                 Some(s) => s.sample(),
                 None => Decibels::ZERO,
@@ -118,11 +124,11 @@ impl LinkProber {
                 e_init += pp.tx * t;
                 e_resp += pp.rx * t;
             }
-            probes.push(ModeProbe {
+            *slot = ModeProbe {
                 mode,
                 best_rate: best.map(|(r, _)| r),
                 snr: best.map(|(_, s)| s).unwrap_or(last_snr),
-            });
+            };
         }
         ProbeReport {
             probes,

@@ -159,7 +159,7 @@ mod tests {
             })
             .collect();
         OffloadPlan {
-            allocations,
+            allocations: crate::offload::Allocations::from_slice(&allocations),
             tx_cost: JoulesPerBit::from_nanojoules(1.0),
             rx_cost: JoulesPerBit::from_nanojoules(1.0),
             exact: true,

@@ -100,10 +100,10 @@ proptest! {
             rx_cost: JoulesPerBit::from_nanojoules(1.0),
         };
         let plan = braidio_mac::OffloadPlan {
-            allocations: vec![
+            allocations: braidio_mac::offload::Allocations::from_slice(&[
                 braidio_mac::offload::Allocation { option: opt(Mode::Passive), fraction: p },
                 braidio_mac::offload::Allocation { option: opt(Mode::Backscatter), fraction: 1.0 - p },
-            ],
+            ]),
             tx_cost: JoulesPerBit::from_nanojoules(1.0),
             rx_cost: JoulesPerBit::from_nanojoules(1.0),
             exact: true,

@@ -26,7 +26,8 @@
 //! reductions iterate in pair/device index order.
 
 use crate::arbitration::Arbitration;
-use crate::interference::{interference_at, options_under, CarrierSource};
+use crate::cache::{far_field_cutoff, PairGainCache};
+use crate::interference::{carrier_contribution, CarrierSource, OptionsMemo};
 use crate::kernel::EventQueue;
 use crate::metrics::FleetReport;
 use crate::scenario::FleetScenario;
@@ -81,18 +82,38 @@ struct Ev {
     kind: Kind,
 }
 
+/// One scheduled slice of a quantum:
+/// (mode, rate, bits, tx-radiates, rx-radiates, airtime).
+type Slice = (Mode, Rate, f64, bool, bool, Seconds);
+
+const FILL_SLICE: Slice = (
+    Mode::Active,
+    Rate::Kbps10,
+    0.0,
+    false,
+    false,
+    Seconds::new(0.0),
+);
+
 /// A quantum in flight: its energy and accounting are committed when the
 /// completion event is delivered (never, if the horizon or a re-plan death
-/// cuts the session first).
+/// cuts the session first). Slices are inline (a plan braids at most two
+/// options) so scheduling a quantum never touches the heap.
 #[derive(Debug, Clone)]
 struct PendingQuantum {
     bits: f64,
     e_tx: Joules,
     e_rx: Joules,
-    /// (mode, rate, bits, tx-radiates, rx-radiates, airtime) per allocation.
-    slices: Vec<(Mode, Rate, f64, bool, bool, Seconds)>,
+    slices: [Slice; 2],
+    nslices: u8,
     /// This quantum exhausts a battery.
     last: bool,
+}
+
+impl PendingQuantum {
+    fn slices(&self) -> &[Slice] {
+        &self.slices[..self.nslices as usize]
+    }
 }
 
 #[derive(Debug)]
@@ -132,6 +153,11 @@ struct Fleet<'a> {
     devices: Vec<DeviceRt>,
     pairs: Vec<PairRt>,
     replans: u64,
+    /// Cached pairwise interference (invalidated on death / mobility).
+    gains: PairGainCache,
+    /// Quantize-and-memoized `options_under` (per-engine, so a run stays a
+    /// pure function of its scenario).
+    options: OptionsMemo,
 }
 
 impl<'a> Fleet<'a> {
@@ -168,12 +194,19 @@ impl<'a> Fleet<'a> {
                 last_mode: None,
             })
             .collect();
+        let gains = if sc.far_field_cull {
+            PairGainCache::with_cull(sc.pairs.len(), far_field_cutoff(&sc.ch))
+        } else {
+            PairGainCache::new(sc.pairs.len())
+        };
         Fleet {
             sc,
             q: EventQueue::new(),
             devices,
             pairs,
             replans: 0,
+            gains,
+            options: OptionsMemo::new(),
         }
     }
 
@@ -333,7 +366,7 @@ impl<'a> Fleet<'a> {
         self.charge(tx, pending.e_tx, now);
         self.charge(rx, pending.e_rx, now);
         self.pairs[p].bits += pending.bits;
-        for (mode, rate, bits, on_tx, on_rx, airtime) in &pending.slices {
+        for (mode, rate, bits, on_tx, on_rx, airtime) in pending.slices() {
             for (m, b) in self.pairs[p].mode_bits.iter_mut() {
                 if m == mode {
                     *b += bits;
@@ -388,16 +421,18 @@ impl<'a> Fleet<'a> {
     fn install_plan(&mut self, p: usize, now: Seconds) -> bool {
         let d = self.pair_distance(p, now);
         let interference = self.interference_for(p);
-        let mut opts = options_under(&self.sc.ch, d, interference);
-        if let Some(pin) = self.sc.pairs[p].pinned_mode {
-            opts.retain(|o| o.mode == pin);
-        }
+        // The pin goes *into* the option search (non-pinned modes are never
+        // evaluated), and the result is memoized on the quantized
+        // (distance, interference, pin) key.
+        let pin = self.sc.pairs[p].pinned_mode;
+        let opts = self.options.get(&self.sc.ch, d, interference, pin);
         if opts.is_empty() {
             self.pairs[p]
                 .fsm
                 .on(FsmEvent::ProbesEmpty)
                 .expect("Probing accepts ProbesEmpty");
             self.pairs[p].dead_at = Some(now);
+            self.gains.mark_dead(p);
             if telemetry::enabled() {
                 let track = telemetry::Track::Pair(p as u32);
                 telemetry::emit(telemetry::Event::Replan {
@@ -462,7 +497,7 @@ impl<'a> Fleet<'a> {
     /// Schedule the next braid quantum under the installed plan. Kills the
     /// pair instead when not even one bit is affordable.
     fn schedule_quantum(&mut self, p: usize, now: Seconds) {
-        let plan = self.pairs[p].plan.clone().expect("braiding under a plan");
+        let plan = self.pairs[p].plan.expect("braiding under a plan");
         let (tx, rx) = (self.sc.pairs[p].tx, self.sc.pairs[p].rx);
 
         // Per-bit costs with the same amortized Table 5 switching charge as
@@ -500,12 +535,14 @@ impl<'a> Fleet<'a> {
         let last = affordable <= quantum_bits;
 
         let mut airtime = Seconds::ZERO;
-        let mut slices = Vec::with_capacity(plan.allocations.len());
+        let mut slices = [FILL_SLICE; 2];
+        let mut nslices = 0u8;
         for a in &plan.allocations {
             let slice_bits = bits * a.fraction;
             let dt = a.option.rate.bps().time_for_bits(slice_bits);
             let (on_tx, on_rx) = a.option.mode.carrier_at();
-            slices.push((a.option.mode, a.option.rate, slice_bits, on_tx, on_rx, dt));
+            slices[nslices as usize] = (a.option.mode, a.option.rate, slice_bits, on_tx, on_rx, dt);
+            nslices += 1;
             airtime += dt;
         }
         let finish = self.finish_time(p, now, airtime);
@@ -514,6 +551,7 @@ impl<'a> Fleet<'a> {
             e_tx: Joules::new(bits * c_tx),
             e_rx: Joules::new(bits * c_rx),
             slices,
+            nslices,
             last,
         });
         self.schedule(finish, p, Kind::QuantumDone);
@@ -560,14 +598,64 @@ impl<'a> Fleet<'a> {
         Seconds::new(t.seconds() + left)
     }
 
-    /// Worst-case foreign-carrier power at pair `p`'s receiver.
-    fn interference_for(&self, p: usize) -> Watts {
+    /// Worst-case foreign-carrier power at pair `p`'s receiver, served from
+    /// the incremental cache: a clean sum is a single lookup; a dirty one
+    /// replays cached per-edge contributions in pair-index order, so it is
+    /// bit-identical to the brute-force rescan this replaced (the
+    /// debug-build shadow check below enforces exactly that).
+    fn interference_for(&mut self, p: usize) -> Watts {
         if !self.sc.arbitration.carriers_overlap() {
             return Watts::ZERO;
         }
+        let sc = self.sc;
+        let devices = &self.devices;
+        let victim = devices[sc.pairs[p].rx].pos;
+        let w = self.gains.interference(
+            p,
+            |q| {
+                let qp = &sc.pairs[q];
+                (devices[qp.tx].pos, devices[qp.rx].pos)
+            },
+            |q| {
+                let qp = &sc.pairs[q];
+                let a = devices[qp.tx].pos;
+                let b = devices[qp.rx].pos;
+                let pos = if a.distance(victim) <= b.distance(victim) {
+                    a
+                } else {
+                    b
+                };
+                carrier_contribution(
+                    &sc.ch,
+                    victim,
+                    &CarrierSource {
+                        pos,
+                        rf: sc.ch.carrier_rf,
+                        relation: sc.arbitration.relation(p, q),
+                    },
+                )
+            },
+        );
+        #[cfg(debug_assertions)]
+        self.shadow_check(p, w);
+        w
+    }
+
+    /// Debug-build oracle: recompute pair `p`'s interference the original
+    /// brute-force way (full rescan, no cull, pair-index order) and check
+    /// the cached answer against it — bit-equal without the cull, within
+    /// `pairs × cull_epsilon` with it. Also asserts the cache's liveness
+    /// view matches the FSMs.
+    #[cfg(debug_assertions)]
+    fn shadow_check(&self, p: usize, got: Watts) {
         let victim = self.devices[self.sc.pairs[p].rx].pos;
-        let mut sources = Vec::new();
+        let mut brute = Watts::new(0.0);
         for (qi, qp) in self.sc.pairs.iter().enumerate() {
+            debug_assert_eq!(
+                self.gains.is_live(qi),
+                !self.pairs[qi].fsm.is_dead(),
+                "cache liveness diverged for pair {qi}"
+            );
             if qi == p || self.pairs[qi].fsm.is_dead() {
                 continue;
             }
@@ -578,13 +666,30 @@ impl<'a> Fleet<'a> {
             } else {
                 b
             };
-            sources.push(CarrierSource {
-                pos,
-                rf: self.sc.ch.carrier_rf,
-                relation: self.sc.arbitration.relation(p, qi),
-            });
+            brute += carrier_contribution(
+                &self.sc.ch,
+                victim,
+                &CarrierSource {
+                    pos,
+                    rf: self.sc.ch.carrier_rf,
+                    relation: self.sc.arbitration.relation(p, qi),
+                },
+            );
         }
-        interference_at(&self.sc.ch, victim, &sources)
+        if self.sc.far_field_cull {
+            let slack = self.pairs.len() as f64 * crate::cache::cull_epsilon(&self.sc.ch).watts();
+            debug_assert!(
+                got.watts() <= brute.watts() * (1.0 + 1e-12) + 1e-300
+                    && brute.watts() <= got.watts() * (1.0 + 1e-12) + slack,
+                "culled sum {got} strayed from brute force {brute} (pair {p})"
+            );
+        } else {
+            debug_assert_eq!(
+                got.watts().to_bits(),
+                brute.watts().to_bits(),
+                "cached sum {got} != brute force {brute} (pair {p})"
+            );
+        }
     }
 
     /// The pair's current separation; a mobile receiver is displaced along
@@ -598,6 +703,9 @@ impl<'a> Fleet<'a> {
                 let d = w.distance_at(now);
                 let dir = self.pairs[p].dir;
                 self.devices[rx].pos = self.devices[tx].pos.offset_along(dir, d);
+                // The pair moved: its cached interference edges (as victim
+                // and as source) are stale for everyone.
+                self.gains.invalidate_pair(p);
                 d
             }
         }
@@ -618,6 +726,7 @@ impl<'a> Fleet<'a> {
     }
 
     fn kill(&mut self, p: usize, now: Seconds) {
+        self.gains.mark_dead(p);
         if !self.pairs[p].fsm.is_dead() {
             self.pairs[p]
                 .fsm
@@ -643,7 +752,7 @@ impl<'a> Fleet<'a> {
         };
         if telemetry::enabled() {
             let track = telemetry::Track::Pair(p as u32);
-            for (mode, rate, bits, ..) in &pending.slices {
+            for (mode, rate, bits, ..) in pending.slices() {
                 telemetry::emit(telemetry::Event::QuantumLost {
                     at,
                     track,

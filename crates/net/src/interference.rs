@@ -15,7 +15,7 @@
 //! IF filtering — the same simplification `mac::coexistence` makes.
 
 use braidio_mac::coexistence::ChannelRelation;
-use braidio_mac::offload::LinkOption;
+use braidio_mac::offload::{LinkOption, OptionSet};
 use braidio_phy::ber::ber_ook_noncoherent_fast;
 use braidio_radio::characterization::{Characterization, Rate, OPERATIONAL_BER};
 use braidio_radio::Mode;
@@ -34,18 +34,26 @@ pub struct CarrierSource {
     pub relation: ChannelRelation,
 }
 
+/// Power one foreign carrier lands at a victim detector at `victim`: RF
+/// output through free-space path loss, the victim's antenna and detector
+/// front end, and the channel-relation coupling. A pure function of the
+/// source geometry/relation, which is what makes per-edge contributions
+/// cacheable ([`crate::cache::PairGainCache`]) without changing a bit.
+#[inline]
+pub fn carrier_contribution(ch: &Characterization, victim: Point, s: &CarrierSource) -> Watts {
+    s.rf.gained(free_space_gain(s.pos.distance(victim), ch.budget.frequency))
+        .gained(ch.budget.rx_antenna_gain)
+        .gained(-ch.budget.detector_frontend_loss)
+        .gained(s.relation.noise_coupling())
+}
+
 /// Total foreign-carrier power acting as noise at a victim detector at
 /// `victim`, given the victim pair's characterization (noncoherent power
-/// sum over sources).
+/// sum over sources, in slice order).
 pub fn interference_at(ch: &Characterization, victim: Point, sources: &[CarrierSource]) -> Watts {
     sources
         .iter()
-        .map(|s| {
-            s.rf.gained(free_space_gain(s.pos.distance(victim), ch.budget.frequency))
-                .gained(ch.budget.rx_antenna_gain)
-                .gained(-ch.budget.detector_frontend_loss)
-                .gained(s.relation.noise_coupling())
-        })
+        .map(|s| carrier_contribution(ch, victim, s))
         .sum()
 }
 
@@ -107,8 +115,26 @@ pub fn max_rate_under(
 /// interference-aware counterpart of [`braidio_mac::offload::options_at`],
 /// to which it reduces exactly when `interference` is zero.
 pub fn options_under(ch: &Characterization, d: Meters, interference: Watts) -> Vec<LinkOption> {
-    let mut opts = Vec::new();
+    options_under_pinned(ch, d, interference, None).to_vec()
+}
+
+/// [`options_under`] restricted to a pinned mode: when a scenario pins a
+/// pair (e.g. the star tags), the non-pinned modes never enter a plan, so
+/// evaluating their BER curves per planning wave is pure waste — the pin is
+/// applied *before* the rate search, not `retain`ed after it. Returns an
+/// inline [`OptionSet`] so callers (and the memo in [`OptionsMemo`]) stay
+/// heap-free.
+pub fn options_under_pinned(
+    ch: &Characterization,
+    d: Meters,
+    interference: Watts,
+    pin: Option<Mode>,
+) -> OptionSet {
+    let mut opts = OptionSet::EMPTY;
     for mode in Mode::ALL {
+        if pin.is_some_and(|p| p != mode) {
+            continue;
+        }
         if let Some(rate) = max_rate_under(ch, mode, d, interference) {
             let (tx_cost, rx_cost) = ch
                 .energy_per_bit(mode, rate)
@@ -122,6 +148,86 @@ pub fn options_under(ch: &Characterization, d: Meters, interference: Watts) -> V
         }
     }
     opts
+}
+
+/// Log-domain quantum for the memo key's `(distance, interference)` axes:
+/// steps of 2⁻³² in ln(x), ~2.3e-10 relative — the same grid
+/// `solve_memo` uses for the battery ratio, and as far below any physical
+/// tolerance. The canonical evaluation runs *on* the quantized values, so a
+/// hit and a miss return bit-identical sets.
+const LN_QUANT: f64 = (1u64 << 32) as f64;
+
+/// Bound on the options memo; reaching it clears the map (option sets are
+/// pure functions of their key, so eviction never changes results).
+const OPTIONS_MEMO_CAP: usize = 4096;
+
+/// Quantize-and-memoize [`options_under_pinned`] on
+/// `(distance, interference, pin)` — the `solve_memo` trick applied one
+/// stage earlier in the planning pipeline. The option *costs* depend only
+/// on `(mode, rate)`, so quantizing the inputs can only move a mode/rate
+/// availability decision, and only when the exact input sits within
+/// ~2.3e-10 of a BER threshold; the byte-identity CI gates would catch such
+/// a flip. Zero interference is kept as an exact sentinel (never
+/// quantized) because `available_under` short-circuits on it.
+#[derive(Debug, Default)]
+pub struct OptionsMemo {
+    cache: std::collections::HashMap<(i64, i64, u8), OptionSet>,
+}
+
+impl OptionsMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoized [`options_under_pinned`].
+    pub fn get(
+        &mut self,
+        ch: &Characterization,
+        d: Meters,
+        interference: Watts,
+        pin: Option<Mode>,
+    ) -> OptionSet {
+        let ld = d.meters().ln();
+        let zero_i = interference.watts() <= 0.0;
+        let li = if zero_i {
+            0.0
+        } else {
+            interference.watts().ln()
+        };
+        if !ld.is_finite() || !li.is_finite() {
+            // Degenerate geometry (coincident endpoints): fall through to
+            // the exact computation rather than inventing a grid for it.
+            return options_under_pinned(ch, d, interference, pin);
+        }
+        let qd = (ld * LN_QUANT).round() as i64;
+        let qi = if zero_i {
+            i64::MIN // exact-zero sentinel, distinct from every ln() grid point
+        } else {
+            (li * LN_QUANT).round() as i64
+        };
+        let qpin = pin.map(|m| m as u8 + 1).unwrap_or(0);
+        let key = (qd, qi, qpin);
+        if let Some(set) = self.cache.get(&key) {
+            braidio_telemetry::count("net.options.memo_hit");
+            return *set;
+        }
+        // Canonical evaluation on the quantized inputs: the cached value is
+        // a pure function of the key, independent of the call that missed.
+        let dq = Meters::new((qd as f64 / LN_QUANT).exp());
+        let iq = if zero_i {
+            Watts::ZERO
+        } else {
+            Watts::new((qi as f64 / LN_QUANT).exp())
+        };
+        let set = options_under_pinned(ch, dq, iq, pin);
+        if self.cache.len() >= OPTIONS_MEMO_CAP {
+            self.cache.clear();
+        }
+        self.cache.insert(key, set);
+        braidio_telemetry::count("net.options.memo_miss");
+        set
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,8 @@
 //! * [`kernel`] — the DES event queue with total-order tie-breaking.
 //! * [`interference`] — many-source foreign-carrier coupling, generalizing
 //!   `mac::coexistence` from one interferer to a fleet.
+//! * [`cache`] — incrementally maintained pairwise interference sums (the
+//!   large-fleet fast path; bit-identical to the brute-force rescan).
 //! * [`arbitration`] — who may put a carrier up, when (uncoordinated,
 //!   round-robin TDMA, static channel plans).
 //! * [`scenario`] — device placement, batteries, traffic pairs.
@@ -40,6 +42,7 @@
 //! ```
 
 pub mod arbitration;
+pub mod cache;
 pub mod engine;
 pub mod interference;
 pub mod kernel;

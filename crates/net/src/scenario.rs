@@ -79,6 +79,10 @@ pub struct FleetScenario {
     /// Charge association/status/probe control traffic (§4.2 steps 1–2).
     /// Off for cross-validation against `mac::sim`, which charges neither.
     pub control_overhead: bool,
+    /// Enable the conservative far-field interference cull
+    /// ([`crate::cache::far_field_cutoff`]). Off by default; bitwise-neutral
+    /// wherever all pairs sit within the cutoff (every in-room scenario).
+    pub far_field_cull: bool,
 }
 
 impl FleetScenario {
@@ -96,6 +100,7 @@ impl FleetScenario {
             replan_interval: Seconds::new(10.0),
             horizon: Seconds::new(600.0),
             control_overhead: true,
+            far_field_cull: false,
         };
         s.validate();
         s
@@ -110,6 +115,12 @@ impl FleetScenario {
     /// Same scenario without control-plane energy accounting.
     pub fn without_control_overhead(mut self) -> Self {
         self.control_overhead = false;
+        self
+    }
+
+    /// Same scenario with the far-field interference cull enabled.
+    pub fn with_far_field_cull(mut self) -> Self {
+        self.far_field_cull = true;
         self
     }
 
@@ -129,6 +140,40 @@ impl FleetScenario {
         let mut devices = Vec::with_capacity(2 * m);
         let mut pairs = Vec::with_capacity(m);
         for (i, p) in tx_pos.into_iter().enumerate() {
+            devices.push(DeviceSpec {
+                pos: p,
+                battery: Joules::from_watt_hours(tx_wh),
+            });
+            devices.push(DeviceSpec {
+                pos: Point::new(p.x, p.y + pair_sep.meters()),
+                battery: Joules::from_watt_hours(rx_wh),
+            });
+            pairs.push(PairSpec::braided(2 * i, 2 * i + 1));
+        }
+        FleetScenario::new(devices, pairs, arbitration)
+    }
+
+    /// `m` unrelated pairs on a √m × √m room grid — the large-fleet
+    /// counterpart of [`independent_pairs`](Self::independent_pairs), which
+    /// at hundreds of pairs would degenerate into an implausibly long
+    /// corridor. Pair `i` sits at column `i mod side`, row `i / side` with
+    /// `spacing` between grid points; its receiver is `pair_sep` away along
+    /// the row axis' perpendicular.
+    pub fn grid_pairs(
+        m: usize,
+        pair_sep: Meters,
+        spacing: Meters,
+        tx_wh: f64,
+        rx_wh: f64,
+        arbitration: Arbitration,
+    ) -> Self {
+        let side = (m as f64).sqrt().ceil() as usize;
+        let mut devices = Vec::with_capacity(2 * m);
+        let mut pairs = Vec::with_capacity(m);
+        for i in 0..m {
+            let col = (i % side) as f64;
+            let row = (i / side) as f64;
+            let p = Point::new(col * spacing.meters(), row * spacing.meters());
             devices.push(DeviceSpec {
                 pos: p,
                 battery: Joules::from_watt_hours(tx_wh),

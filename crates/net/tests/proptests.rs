@@ -1,7 +1,10 @@
-//! Property-based tests for the discrete-event kernel's ordering contract.
+//! Property-based tests for the discrete-event kernel's ordering contract
+//! and the incremental interference cache's bitwise contract.
 
+use braidio_net::cache::PairGainCache;
 use braidio_net::EventQueue;
-use braidio_units::Seconds;
+use braidio_rfsim::geometry::Point;
+use braidio_units::{Seconds, Watts};
 use proptest::prelude::*;
 
 /// Random event keys: coarse-grained times force plenty of ties so the
@@ -76,6 +79,128 @@ proptest! {
                 (ta, sa, da) <= (tb, sb, db),
                 "out of order: {:?} before {:?}", w[0], w[1]
             );
+        }
+    }
+}
+
+/// One fleet event the interference cache must track: a pair's session
+/// dies, a pair moves (mobility walk refresh), or a pair's channel
+/// relation changes (arbitration rotation).
+#[derive(Debug, Clone, Copy)]
+enum FleetEvent {
+    Death(usize),
+    Move(usize, Point),
+    Relation(usize, u8),
+}
+
+/// Random event sequences over `n` pairs: kind, target pair, and the
+/// payload (grid-snapped position / relation class) all drawn uniformly.
+fn arb_events(n: usize) -> impl Strategy<Value = Vec<FleetEvent>> {
+    proptest::collection::vec((0u8..3, 0..n, 0u16..64, 0u16..64, 0u8..3), 0..24).prop_map(|v| {
+        v.into_iter()
+            .map(|(kind, q, x, y, r)| match kind {
+                0 => FleetEvent::Death(q),
+                1 => FleetEvent::Move(q, Point::new(x as f64 * 0.25, y as f64 * 0.25)),
+                _ => FleetEvent::Relation(q, r),
+            })
+            .collect()
+    })
+}
+
+/// The reference model: brute-force rescan in pair-index order — exactly
+/// the computation the cache replaced, over the same mirrored state.
+fn brute_sum(victim: usize, eps: &[(Point, Point)], live: &[bool], rel: &[u8]) -> Watts {
+    let mut acc = Watts::new(0.0);
+    for (q, &alive) in live.iter().enumerate() {
+        if q == victim || !alive {
+            continue;
+        }
+        acc += edge_power(victim, q, eps, rel);
+    }
+    acc
+}
+
+/// A distinctive distance-decaying fake physics (scaled per relation
+/// class): enough to expose any caching or ordering slip bit-for-bit.
+fn edge_power(victim: usize, q: usize, eps: &[(Point, Point)], rel: &[u8]) -> Watts {
+    let vp = eps[victim].1;
+    let (a, b) = eps[q];
+    let d = a.distance(vp).min(b.distance(vp)).meters();
+    let coupling = [1.0, 0.1, 1e-3][rel[q] as usize];
+    Watts::new(coupling * 1e-9 / (1.0 + d * d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The incremental cache's bitwise contract under arbitrary event
+    /// sequences: after every death / move / relation-change event, every
+    /// victim's cached sum equals the brute-force rescan bit-for-bit.
+    #[test]
+    fn cached_interference_tracks_brute_force_through_events(
+        n in 2usize..8,
+        seeds in proptest::collection::vec((0u16..64, 0u16..64), 8..9),
+        events_raw in arb_events(8),
+    ) {
+        let mut eps: Vec<(Point, Point)> = seeds[..n]
+            .iter()
+            .map(|&(x, y)| {
+                let p = Point::new(x as f64 * 0.25, y as f64 * 0.25);
+                (p, Point::new(p.x, p.y + 0.5))
+            })
+            .collect();
+        let mut live = vec![true; n];
+        let mut rel = vec![0u8; n];
+        let mut cache = PairGainCache::new(n);
+
+        let check = |cache: &mut PairGainCache,
+                         eps: &[(Point, Point)],
+                         live: &[bool],
+                         rel: &[u8]|
+         -> Result<(), TestCaseError> {
+            for v in 0..n {
+                let got = cache.interference(v, |q| eps[q], |q| edge_power(v, q, eps, rel));
+                let want = brute_sum(v, eps, live, rel);
+                prop_assert_eq!(
+                    got.watts().to_bits(),
+                    want.watts().to_bits(),
+                    "victim {} diverged: {:?} vs {:?}", v, got, want
+                );
+                // And the clean-sum fast path returns the same bits
+                // without ever calling back into the physics.
+                let again = cache.interference(v, |q| eps[q], |_| panic!("sum was clean"));
+                prop_assert_eq!(again.watts().to_bits(), got.watts().to_bits());
+            }
+            Ok(())
+        };
+
+        check(&mut cache, &eps, &live, &rel)?;
+        for ev in events_raw {
+            match ev {
+                FleetEvent::Death(q) => {
+                    let q = q % n;
+                    live[q] = false;
+                    cache.mark_dead(q);
+                }
+                FleetEvent::Move(q, p) => {
+                    let q = q % n;
+                    // Dead pairs never move (the engine stops refreshing
+                    // their walks), and the cache is allowed to keep their
+                    // stale edges forever.
+                    if live[q] {
+                        eps[q] = (p, Point::new(p.x, p.y + 0.5));
+                        cache.invalidate_pair(q);
+                    }
+                }
+                FleetEvent::Relation(q, r) => {
+                    let q = q % n;
+                    if live[q] && rel[q] != r {
+                        rel[q] = r;
+                        cache.invalidate_pair(q);
+                    }
+                }
+            }
+            check(&mut cache, &eps, &live, &rel)?;
         }
     }
 }

@@ -158,6 +158,19 @@ fn emit_slow(event: Event) {
 /// Bump a named counter by one (no-op unless capture is active). Names
 /// must be `'static` lowercase dotted identifiers — they land in
 /// `--bench-json` verbatim.
+///
+/// Registered vocabulary (add new names here so the bench-json consumers
+/// have one place to look):
+///
+/// * `net.kernel.scheduled` / `net.kernel.delivered` — DES event traffic.
+/// * `net.arbitration.deferred` — TDMA window skips.
+/// * `net.interference.sum_reuse` / `sum_rebuild` / `edge_recompute` /
+///   `cull_drop` — the incremental interference cache's hit/rebuild/edge
+///   economics and far-field cull decisions (`braidio-net::cache`).
+/// * `net.options.memo_hit` / `memo_miss` — the quantized
+///   `options_under` memo.
+/// * `mac.offload.memo_hit` / `memo_miss` — the offload-plan memo
+///   (interleaving-dependent: counters only, never trace events).
 #[inline]
 pub fn count(name: &'static str) {
     if !active() {
