@@ -6,16 +6,20 @@
 //! original path (a fresh O(M) source scan per victim — O(M²) per wave,
 //! plus a full `options_under` evaluation per pair); the cached arms run
 //! the production path (`PairGainCache` steady-state sums, `OptionsMemo`
-//! hits). Both compute bit-identical answers — the determinism suite and
+//! hits); the batched arms run the SoA wave path (`rebuild_all` bulk
+//! sweeps, `options_under_batch`, key-sorted `prefetch`). All compute
+//! bit-identical answers — the determinism suite and
 //! the debug-build shadow check enforce that — so the arms measure the
 //! same computation. The EXPERIMENTS.md large-fleet table quotes the
 //! 64-pair wave numbers from here.
 
 use braidio_net::cache::PairGainCache;
 use braidio_net::interference::{
-    carrier_contribution, interference_at, options_under, CarrierSource, OptionsMemo,
+    carrier_contribution, interference_at, options_under, options_under_batch, CarrierSource,
+    OptionsKey, OptionsMemo,
 };
 use braidio_net::{run_fleet, Arbitration, FleetScenario};
+use braidio_radio::Mode;
 use braidio_units::{Meters, Seconds, Watts};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -106,12 +110,49 @@ fn bench_interference_wave(c: &mut Criterion) {
     c.bench_function("fleet_replan/interference_wave/cached_steady/64", |b| {
         b.iter(|| black_box(wave_cached(&mut cache, &sc)))
     });
-    // After a mobility event: one pair's row/column recomputes, every
-    // other edge replays from cache in pair-index order.
+    // After a mobility event: every sum is dirty; each victim recomputes
+    // its live edges in pair-index order (the cache is matrix-free, so a
+    // dirty sum is a recompute, not a replay).
     c.bench_function("fleet_replan/interference_wave/cached_after_move/64", |b| {
         b.iter(|| {
             cache.invalidate_pair(0);
             black_box(wave_cached(&mut cache, &sc))
+        })
+    });
+    // The batched planning-wave path: one `rebuild_all` sweep recomputes
+    // every dirty sum in pair-index order, then the wave is all clean hits.
+    let mut bulk = PairGainCache::new(PAIRS);
+    c.bench_function("fleet_replan/interference_wave/bulk_rebuild/64", |b| {
+        b.iter(|| {
+            bulk.invalidate_pair(0);
+            bulk.rebuild_all(
+                |_| true,
+                |q| {
+                    let qp = &sc.pairs[q];
+                    (sc.devices[qp.tx].pos, sc.devices[qp.rx].pos)
+                },
+                |v, q| {
+                    let victim = sc.devices[sc.pairs[v].rx].pos;
+                    let qp = &sc.pairs[q];
+                    let a = sc.devices[qp.tx].pos;
+                    let b = sc.devices[qp.rx].pos;
+                    let pos = if a.distance(victim) <= b.distance(victim) {
+                        a
+                    } else {
+                        b
+                    };
+                    carrier_contribution(
+                        &sc.ch,
+                        victim,
+                        &CarrierSource {
+                            pos,
+                            rf: sc.ch.carrier_rf,
+                            relation: sc.arbitration.relation(v, q),
+                        },
+                    )
+                },
+            );
+            black_box(wave_cached(&mut bulk, &sc))
         })
     });
 }
@@ -127,6 +168,37 @@ fn bench_options(c: &mut Criterion) {
     memo.get(&sc.ch, d, interference, None);
     c.bench_function("fleet_replan/options/memoized", |b| {
         b.iter(|| black_box(memo.get(&sc.ch, d, interference, None)))
+    });
+    // The batched wave path: one quantized key per pair (a spread of
+    // distances / interference levels / pins, as a heterogeneous fleet
+    // produces), deduped, resolved in key order through the batched BER
+    // surface.
+    let items: Vec<(Meters, Watts, Option<Mode>)> = (0..PAIRS)
+        .map(|i| {
+            (
+                Meters::new(0.4 + 0.05 * (i % 8) as f64),
+                Watts::new(1e-10 * (1.0 + (i / 8) as f64)),
+                if i % 16 == 0 {
+                    Some(Mode::Active)
+                } else {
+                    None
+                },
+            )
+        })
+        .collect();
+    c.bench_function("fleet_replan/options/batch_cold/64", |b| {
+        b.iter(|| black_box(options_under_batch(&sc.ch, &items)))
+    });
+    let mut keys: Vec<OptionsKey> = items
+        .iter()
+        .filter_map(|&(d, i, pin)| OptionsMemo::key_for(d, i, pin))
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut warm = OptionsMemo::new();
+    warm.prefetch(&sc.ch, &keys);
+    c.bench_function("fleet_replan/options/prefetch_warm/64", |b| {
+        b.iter(|| warm.prefetch(&sc.ch, black_box(&keys)))
     });
 }
 

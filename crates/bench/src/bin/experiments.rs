@@ -8,6 +8,7 @@
 //! experiments all --jobs 4 --timing  # 4 worker threads, per-experiment timing
 //! experiments all --bench-json t.json# machine-readable timing report
 //! experiments fleet --scale 64       # large-fleet rung: 64 pairs x 3 policies
+//! experiments fleet --city-block     # 10k-pair mixed mesh/star stress rung
 //! experiments fleet --trace-events fleet.jsonl   # simulated-time event trace
 //! experiments fleet --trace-chrome fleet.trace   # Perfetto-loadable trace
 //! experiments fleet --profile prof.trace         # wall-clock span profile
@@ -42,6 +43,8 @@ struct Cli {
     jobs: Option<usize>,
     /// Large-fleet pair count for the `fleet` experiment (`--scale N`).
     scale: Option<usize>,
+    /// Run `fleet` as the city-block stress topology (`--city-block`).
+    city_block: bool,
 }
 
 fn main() {
@@ -62,6 +65,7 @@ fn main() {
     if let Some(n) = cli.scale {
         braidio_bench::fleet::set_scale(n);
     }
+    braidio_bench::fleet::set_city(cli.city_block);
     if cli.trace_events.is_some() || cli.trace_chrome.is_some() {
         telemetry::set_enabled(true);
     }
@@ -254,6 +258,7 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
     let mut profile: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut scale: Option<usize> = None;
+    let mut city_block = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -301,6 +306,7 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
                 }
                 scale = Some(n);
             }
+            "--city-block" => city_block = true,
             name if name.starts_with('-') => return Err(format!("unknown flag '{name}'")),
             name => match lookup(name) {
                 Some((id, _)) => names.push(id),
@@ -335,8 +341,11 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
             .map(|n| lookup(n).expect("validated"))
             .collect()
     };
-    if scale.is_some() && !runs.iter().any(|(id, _)| *id == "fleet") {
-        return Err("--scale only affects the 'fleet' experiment — add it to the selection".into());
+    if (scale.is_some() || city_block) && !runs.iter().any(|(id, _)| *id == "fleet") {
+        return Err(
+            "--scale/--city-block only affect the 'fleet' experiment — add it to the selection"
+                .into(),
+        );
     }
     Ok(Some(Cli {
         runs,
@@ -347,6 +356,7 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
         profile,
         jobs,
         scale,
+        city_block,
     }))
 }
 
@@ -369,8 +379,16 @@ fn usage() {
     eprintln!("                  results are identical at any thread count)");
     eprintln!("  --scale N      run 'fleet' as the large-fleet scale family:");
     eprintln!("                 N pairs on a room grid under every arbitration");
-    eprintln!("                  policy (32/64/128/256 are the benched rungs;");
-    eprintln!("                  results are identical at any thread count)");
+    eprintln!("                  policy (256/1024/4096/10000 are the benched");
+    eprintln!("                  rungs; any N >= 1 works — the grid is ceil(sqrt N)");
+    eprintln!("                  columns wide, filled row-major, so a non-square N");
+    eprintln!("                  leaves the last row partial; the effective shape");
+    eprintln!("                  is printed on stderr; results are identical at");
+    eprintln!("                  any thread count)");
+    eprintln!("  --city-block   run 'fleet' as the city-block stress topology:");
+    eprintln!("                 alternating mesh and star blocks on a street grid");
+    eprintln!("                  (default 10000 pairs; combine with --scale N for");
+    eprintln!("                  other sizes)");
     eprintln!("  --timing       per-experiment wall-clock report on stderr");
     eprintln!("  --bench-json PATH");
     eprintln!("                 write the timing report as JSON (schema 3:");

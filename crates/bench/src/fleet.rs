@@ -24,17 +24,32 @@ const ROOM_HORIZON: Seconds = Seconds::new(30.0);
 const STAR_HORIZON: Seconds = Seconds::new(120.0);
 const TAG_WH: f64 = 0.001;
 
-/// The pair-count rungs of the large-fleet scale family
-/// (`experiments fleet --scale N`).
-pub const SCALE_LADDER: [usize; 4] = [32, 64, 128, 256];
+/// The pair-count rungs of the large-fleet scale family recorded in the
+/// perf trajectory (`experiments fleet --scale N --bench-json …`). Any
+/// positive `N` runs; these four are the ones tracked across PRs.
+pub const SCALE_LADDER: [usize; 4] = [256, 1024, 4096, 10000];
+
+/// Default pair count for the city-block stress scenario
+/// (`experiments fleet --city-block`).
+pub const CITY_DEFAULT_PAIRS: usize = 10_000;
 
 /// Requested `--scale` rung; 0 means the default grid.
 static SCALE: AtomicUsize = AtomicUsize::new(0);
+
+/// `--city-block`: run the mixed mesh/star city topology instead of the
+/// uniform room grid.
+static CITY: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 /// Select the large-fleet scale family for subsequent [`run`] calls
 /// (`experiments fleet --scale N`). `0` restores the default grid.
 pub fn set_scale(pairs: usize) {
     SCALE.store(pairs, Ordering::Relaxed);
+}
+
+/// Select the city-block stress topology for subsequent [`run`] calls
+/// (`experiments fleet --city-block [--scale N]`).
+pub fn set_city(on: bool) {
+    CITY.store(on, Ordering::Relaxed);
 }
 
 fn policies() -> [Arbitration; 3] {
@@ -105,6 +120,36 @@ pub fn scale_scenarios(m: usize) -> Vec<(&'static str, FleetScenario)> {
         .collect()
 }
 
+/// Horizon of the city-block stress rung: long enough that every pair in a
+/// 10⁴-pair fleet associates (1 ms stagger ⇒ 10 s of bring-up) and the
+/// earliest pairs re-plan once, short enough that the rung stays a
+/// seconds-scale benchmark.
+const CITY_HORIZON: Seconds = Seconds::new(12.0);
+
+/// The city-block stress grid at `m` pairs: the mixed mesh/star street
+/// topology ([`FleetScenario::city_block`]) under the two poles of the
+/// arbitration story — uncoordinated (every pair plans against the full
+/// interference field) and round-robin TDMA (interference-free slots, but
+/// a 10⁴-deep rotation starves most pairs inside the horizon). Far-field
+/// cull on, as in the scale family. Public so the determinism suite can
+/// re-run the exact grid at different thread counts.
+pub fn city_scenarios(m: usize) -> Vec<(&'static str, FleetScenario)> {
+    [
+        Arbitration::Uncoordinated,
+        Arbitration::TdmaRoundRobin { slot: SLOT },
+    ]
+    .into_iter()
+    .map(|arb| {
+        (
+            "city",
+            FleetScenario::city_block(m, arb)
+                .with_horizon(CITY_HORIZON)
+                .with_far_field_cull(),
+        )
+    })
+    .collect()
+}
+
 /// Mean fraction of the tags' batteries spent (devices 1.. are the tags).
 fn tag_spend(r: &FleetReport, sc: &FleetScenario) -> f64 {
     let tags = sc.devices.len() - 1;
@@ -140,7 +185,11 @@ fn nj_per_bit(r: &FleetReport) -> f64 {
 /// drain. Public so the determinism suite runs the exact production path.
 pub fn run_grid(grid: &[(&'static str, FleetScenario)]) -> Vec<FleetReport> {
     let base = braidio_telemetry::run_base();
-    let reports = braidio_pool::par_map_indexed(grid.len(), |i| {
+    // Scenario granularity: one scenario per work item. A scale-rung grid
+    // holds a handful of wildly uneven scenarios (TDMA short-circuits the
+    // interference sweep entirely), so the default oversubscription
+    // chunking would weld cheap and expensive scenarios into one unit.
+    let reports = braidio_pool::par_map_indexed_with_chunk(grid.len(), 1, |i| {
         braidio_telemetry::with_run(i as u32, || run_fleet(&grid[i].1))
     });
     if braidio_telemetry::enabled() {
@@ -181,44 +230,102 @@ fn audit_energy_ledger(base: u32, reports: &[FleetReport]) {
     );
 }
 
+/// Wall-clock distribution of the named spans in `spans`: each duration is
+/// observed into the `metric` histogram (surfaced by `--bench-json`), and a
+/// p50/p95/max summary goes to stderr — stderr only, so stdout stays
+/// byte-stable at any thread count and on any machine.
+fn report_span_latency(
+    spans: &[braidio_telemetry::SpanRecord],
+    name: &str,
+    metric: &str,
+    what: &str,
+) {
+    let mut durs: Vec<f64> = spans
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| s.dur_us)
+        .collect();
+    for us in &durs {
+        metrics::observe(metric, us * 1e-6);
+    }
+    durs.sort_by(|a, b| a.partial_cmp(b).expect("span durations are finite"));
+    if !durs.is_empty() {
+        let q = |p: f64| durs[((p * durs.len() as f64).ceil() as usize).max(1) - 1];
+        eprintln!(
+            "fleet scale: {} {what} profiled, p50 {:.1} us, p95 {:.1} us, max {:.1} us",
+            durs.len(),
+            q(0.50),
+            q(0.95),
+            q(1.00),
+        );
+    }
+}
+
+/// Linux peak resident set size (`VmHWM` of `/proc/self/status`), bytes.
+fn peak_rss_bytes() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kb: f64 = status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    Some(kb * 1024.0)
+}
+
+/// Record the process peak RSS under `metric` and note it on stderr (the
+/// large-rung memory trajectory — the figure the matrix-free interference
+/// cache is accountable to).
+fn report_peak_rss(metric: &str) {
+    if let Some(bytes) = peak_rss_bytes() {
+        metrics::record(metric, bytes);
+        eprintln!("fleet scale: peak RSS {:.1} MiB", bytes / (1024.0 * 1024.0));
+    }
+}
+
 /// Run the large-fleet scale rung: `m` pairs on a room grid under all
 /// three arbitration policies. Stdout carries only simulated quantities
-/// (byte-identical at any `--jobs` count); wall-clock re-plan latency goes
-/// to the metric registry (`--bench-json`) and stderr.
+/// (byte-identical at any `--jobs` count); wall-clock planning-wave and
+/// re-plan latency, peak RSS, and the effective grid shape go to the
+/// metric registry (`--bench-json`) and stderr.
 pub fn run_scale(m: usize) {
     banner(
         "Fleet scale",
         "Large-fleet arbitration: hundreds of pairs on a room grid",
     );
+    // Rounding rule for non-perfect-square rungs: the grid is ⌈√m⌉ columns
+    // wide and fills row-major, so the last row may be partial. Stderr, so
+    // stdout stays byte-stable across rungs with the same report values.
+    let side = (m as f64).sqrt().ceil() as usize;
+    eprintln!(
+        "fleet scale: {m} pairs -> {side}x{} grid ({} in the last row; \
+         ceil(sqrt) columns, row-major fill)",
+        m.div_ceil(side),
+        m - (m.div_ceil(side) - 1) * side,
+    );
     let grid = scale_scenarios(m);
     // Profile regardless of `--profile`, so `--bench-json` always carries
-    // the re-plan latency distribution and interference-update counters.
+    // the planning-latency distributions and interference-update counters.
     let prev_profiling = braidio_telemetry::profiling();
     braidio_telemetry::set_profiling(true);
     let spans_before = braidio_telemetry::spans_snapshot().len();
     let reports = run_grid(&grid);
     let spans = braidio_telemetry::spans_snapshot();
     braidio_telemetry::set_profiling(prev_profiling);
-    let mut replans: Vec<f64> = spans[spans_before..]
-        .iter()
-        .filter(|s| s.name == "net.replan")
-        .map(|s| s.dur_us)
-        .collect();
-    for us in &replans {
-        metrics::observe("fleet.scale.replan_latency_s", us * 1e-6);
-    }
-    // Wall-clock distribution: stderr only, so stdout stays byte-stable.
-    replans.sort_by(|a, b| a.partial_cmp(b).expect("span durations are finite"));
-    if !replans.is_empty() {
-        let q = |p: f64| replans[((p * replans.len() as f64).ceil() as usize).max(1) - 1];
-        eprintln!(
-            "fleet scale: {} re-plans profiled, p50 {:.1} us, p95 {:.1} us, max {:.1} us",
-            replans.len(),
-            q(0.50),
-            q(0.95),
-            q(1.00),
-        );
-    }
+    report_span_latency(
+        &spans[spans_before..],
+        "net.replan",
+        "fleet.scale.replan_latency_s",
+        "re-plans",
+    );
+    report_span_latency(
+        &spans[spans_before..],
+        "net.wave",
+        "fleet.scale.wave_latency_s",
+        "planning waves",
+    );
+    report_peak_rss("fleet.scale.peak_rss_bytes");
 
     println!(
         "scale: {m} pairs on a room grid ({} m links, {} m pitch, 1 Wh each, {:.0} s horizon;",
@@ -261,9 +368,87 @@ pub fn run_scale(m: usize) {
     println!("   trades per-pair airtime for interference-free slots.");
 }
 
+/// Run the city-block stress rung: `m` pairs tiled as alternating mesh and
+/// star blocks, uncoordinated vs TDMA. Same stdout/stderr split as
+/// [`run_scale`]: simulated quantities on stdout (byte-identical at any
+/// `--jobs` count), wall-clock latency, peak RSS and shape notes on stderr
+/// and in the metric registry.
+pub fn run_city(m: usize) {
+    banner(
+        "Fleet city-block",
+        "City-scale stress: mixed mesh and star blocks in one interference field",
+    );
+    let nblocks = m.div_ceil(FleetScenario::CITY_BLOCK_PAIRS);
+    let side = (nblocks as f64).sqrt().ceil() as usize;
+    eprintln!(
+        "fleet city: {m} pairs -> {nblocks} blocks of {} on a {side}x{} street grid \
+         (ceil(sqrt) columns, row-major fill)",
+        FleetScenario::CITY_BLOCK_PAIRS,
+        nblocks.div_ceil(side),
+    );
+    let grid = city_scenarios(m);
+    let prev_profiling = braidio_telemetry::profiling();
+    braidio_telemetry::set_profiling(true);
+    let spans_before = braidio_telemetry::spans_snapshot().len();
+    let reports = run_grid(&grid);
+    let spans = braidio_telemetry::spans_snapshot();
+    braidio_telemetry::set_profiling(prev_profiling);
+    report_span_latency(
+        &spans[spans_before..],
+        "net.wave",
+        "fleet.city.wave_latency_s",
+        "planning waves",
+    );
+    report_peak_rss("fleet.city.peak_rss_bytes");
+
+    println!("city: {m} pairs in alternating mesh/star blocks (12 m street pitch, 0.5 m links,",);
+    println!(
+        "      star hubs 99.5 Wh, everyone else 1 Wh, {:.0} s horizon; goodput in bit/s):",
+        CITY_HORIZON.seconds()
+    );
+    println!(
+        "{:>14} {:>15} {:>9} {:>12} {:>13} {:>9}",
+        "policy", "goodput/pair", "fairness", "bs+passive", "carrier duty", "nJ/bit"
+    );
+    for ((_, sc), r) in grid.iter().zip(&reports) {
+        let arb = sc.arbitration;
+        println!(
+            "{:>14} {:>15.0} {:>9.3} {:>11.0}% {:>12.0}% {:>9.1}",
+            arb.label(),
+            r.goodput_per_pair(),
+            r.fairness(),
+            100.0 * detector_share(r),
+            100.0 * mean_carrier_duty(r),
+            nj_per_bit(r),
+        );
+        metrics::record(
+            &format!(
+                "fleet.city.m{m}.{}.goodput_bps",
+                arb.label().replace('-', "_")
+            ),
+            r.goodput_per_pair(),
+        );
+        metrics::record(
+            &format!("fleet.city.m{m}.{}.fairness", arb.label().replace('-', "_")),
+            r.fairness(),
+        );
+    }
+    println!("\n=> one interference field, both deployment shapes: uncoordinated city");
+    println!("   blocks keep only the active mode alive, while a {m}-deep TDMA");
+    println!("   rotation leaves most pairs waiting for their first slot — street-scale");
+    println!("   fleets need arbitration with spatial reuse, not a global token.");
+}
+
 /// Run the fleet experiment.
 pub fn run() {
     let scale = SCALE.load(Ordering::Relaxed);
+    if CITY.load(Ordering::Relaxed) {
+        return run_city(if scale != 0 {
+            scale
+        } else {
+            CITY_DEFAULT_PAIRS
+        });
+    }
     if scale != 0 {
         return run_scale(scale);
     }

@@ -3,22 +3,35 @@
 //! The fleet engine plans against the worst-case foreign-carrier power at
 //! every victim receiver. Computed naively that is O(pairs²) transcendental
 //! work per planning wave — the recompute that capped `experiments fleet`
-//! at 8 pairs. This module exploits two facts:
+//! at 8 pairs. This module keeps one *sum* per victim (flat arrays indexed
+//! by pair id, structure-of-arrays style) and exploits two facts:
 //!
 //! 1. **Per-edge contributions are pure geometry.** The power pair `q`
 //!    lands at victim `p`'s detector depends only on `q`'s endpoint
 //!    positions, `p`'s receiver position and the (static) channel relation
-//!    — so each edge is computed once and cached until a position changes.
+//!    — so recomputing an edge always reproduces the same bits, and no
+//!    per-edge state needs to be stored. (An earlier revision cached an
+//!    O(pairs²) contribution matrix; at 10⁴ pairs that is ~800 MB of NaN
+//!    bookkeeping whose page-fault traffic dwarfed the transcendental work
+//!    it saved. The matrix-free layout is bit-identical because replaying
+//!    a cached pure value and recomputing it are the same bits.)
 //! 2. **Sums change rarely.** A victim's total only moves on pair death,
 //!    an arbitration relation change, or a mobile pair's position refresh.
 //!    Between those events the cached sum is returned untouched.
 //!
-//! **Bitwise contract.** A dirty sum is *recomputed from the cached
-//! contributions in pair-index order* — never maintained by running
-//! add/subtract — so it is bit-identical to the brute-force rescan it
-//! replaces (floating-point addition is neither associative nor reversible,
-//! but replaying the same adds in the same order is exact). The engine
-//! shadow-checks this in debug builds.
+//! **Bitwise contract.** A dirty sum is *recomputed over live sources in
+//! pair-index order* — never maintained by running add/subtract — so it is
+//! bit-identical to the brute-force rescan it replaces (floating-point
+//! addition is neither associative nor reversible, but performing the same
+//! adds in the same order is exact). The engine shadow-checks this in
+//! debug builds.
+//!
+//! **Bulk rebuild.** [`PairGainCache::rebuild_all`] refreshes every dirty
+//! sum in one pass over the flat arrays in pair-index order — the fleet
+//! engine's planning-wave sweep calls it once per wave so the per-pair
+//! lookups that follow are all O(1) clean hits. Because each victim's sum
+//! is computed by the identical per-victim loop the lazy path runs, the
+//! bulk path cannot move a bit.
 //!
 //! **Far-field cull.** Optionally, a spatial grid drops sources whose
 //! contribution is provably below [`CULL_EPS_REL`] of the smallest detector
@@ -92,30 +105,35 @@ pub fn far_field_cutoff(ch: &Characterization) -> Meters {
 struct Cull {
     cutoff: f64,
     near: Vec<Vec<u32>>,
+    /// Degenerate common case: the bounding box of every endpoint fits
+    /// inside one cutoff, so every source is a candidate for every victim.
+    /// The lists are not materialized (at 10⁴ pairs they would be ~400 MB
+    /// of `0..n` enumerations) and the sum walks `0..n` directly — the
+    /// identical pair-index order a full sorted list would produce.
+    all: bool,
     stale: bool,
 }
 
-/// The cached pairwise interference table of one fleet.
+/// The cached per-victim interference sums of one fleet.
 ///
-/// `contrib[victim * n + source]` holds the source's detector-referred
-/// power at the victim (NaN = stale); `sum` holds each victim's total with
-/// a dirty flag. Callers supply the edge physics as a closure — the cache
-/// is pure bookkeeping and owns no positions, which keeps invalidation
-/// rules explicit:
+/// Flat arrays indexed by pair id: `sum[victim]` holds the victim's total
+/// worst-case foreign-carrier power, with a dirty flag per victim and a
+/// fleet-wide `any_dirty` hint for the wave sweep. Callers supply the edge
+/// physics as a closure — the cache is pure bookkeeping and owns no
+/// positions, which keeps invalidation rules explicit:
 ///
 /// * [`mark_dead`](Self::mark_dead) — a pair's session died: it leaves
-///   every victim's sum (its cached edges are retained; dead pairs never
-///   come back).
+///   every victim's sum (dead pairs never come back).
 /// * [`invalidate_pair`](Self::invalidate_pair) — a pair's geometry or
-///   channel relation changed: its row *and* column are stale, and every
-///   sum that might include it is dirty.
+///   channel relation changed: every sum that might include it is dirty.
 #[derive(Debug)]
 pub struct PairGainCache {
     n: usize,
-    contrib: Vec<f64>,
     sum: Vec<f64>,
     sum_dirty: Vec<bool>,
     live: Vec<bool>,
+    /// How many entries of `sum_dirty` are set — the O(1) `any_dirty` hint.
+    ndirty: usize,
     cull: Option<Cull>,
 }
 
@@ -124,10 +142,10 @@ impl PairGainCache {
     pub fn new(n: usize) -> Self {
         PairGainCache {
             n,
-            contrib: vec![f64::NAN; n * n],
             sum: vec![0.0; n],
             sum_dirty: vec![true; n],
             live: vec![true; n],
+            ndirty: n,
             cull: None,
         }
     }
@@ -138,6 +156,7 @@ impl PairGainCache {
         c.cull = Some(Cull {
             cutoff: cutoff.meters(),
             near: vec![Vec::new(); n],
+            all: false,
             stale: true,
         });
         c
@@ -146,6 +165,13 @@ impl PairGainCache {
     /// Is pair `q` still contributing to sums?
     pub fn is_live(&self, q: usize) -> bool {
         self.live[q]
+    }
+
+    /// Does any victim's sum need a rebuild? The engine's wave sweep polls
+    /// this to decide whether a bulk [`rebuild_all`](Self::rebuild_all)
+    /// pass has anything to do.
+    pub fn any_dirty(&self) -> bool {
+        self.ndirty > 0
     }
 
     /// Pair `q`'s session died: drop it from every victim's sum.
@@ -157,30 +183,37 @@ impl PairGainCache {
         for d in self.sum_dirty.iter_mut() {
             *d = true;
         }
+        self.ndirty = self.n;
     }
 
-    /// Pair `p` moved (or its channel relation changed): its cached edges
-    /// in both directions are stale, and every sum is dirty.
-    pub fn invalidate_pair(&mut self, p: usize) {
-        let n = self.n;
-        for q in 0..n {
-            self.contrib[p * n + q] = f64::NAN; // p as victim
-            self.contrib[q * n + p] = f64::NAN; // p as source
-        }
+    /// Pair `p` moved (or its channel relation changed): every sum that
+    /// might include it is dirty, and the cull candidate lists are stale.
+    pub fn invalidate_pair(&mut self, _p: usize) {
         for d in self.sum_dirty.iter_mut() {
             *d = true;
         }
+        self.ndirty = self.n;
         if let Some(cull) = &mut self.cull {
             cull.stale = true;
         }
     }
 
+    /// The victim's sum, only if it is clean. The wave sweep reads freshly
+    /// bulk-rebuilt sums through this without touching the dirty flags; a
+    /// `None` (victim skipped or re-dirtied mid-sweep) means the value must
+    /// come from the lazy [`interference`](Self::interference) path.
+    pub fn cached_sum(&self, victim: usize) -> Option<Watts> {
+        (!self.sum_dirty[victim]).then(|| Watts::new(self.sum[victim]))
+    }
+
     /// The victim's current candidate source list under the cull, if one is
-    /// active and built (for tests and diagnostics).
+    /// active, built, and actually filtering (for tests and diagnostics).
+    /// `None` also covers the degenerate everyone-in-range case, where no
+    /// lists are materialized and the sum walks `0..n` directly.
     pub fn cull_candidates(&self, victim: usize) -> Option<&[u32]> {
         self.cull
             .as_ref()
-            .filter(|c| !c.stale)
+            .filter(|c| !c.stale && !c.all)
             .map(|c| c.near[victim].as_slice())
     }
 
@@ -189,58 +222,97 @@ impl PairGainCache {
     /// `endpoints(q)` returns pair `q`'s current `(tx, rx)` positions (used
     /// only to rebuild cull candidate lists); `edge(q)` computes source
     /// `q`'s contribution at this victim. On a clean sum neither closure is
-    /// called. A dirty sum replays cached contributions over live sources
-    /// in pair-index order — bit-identical to the brute-force rescan.
+    /// called. A dirty sum recomputes the live sources' contributions in
+    /// pair-index order — bit-identical to the brute-force rescan.
     pub fn interference<P, E>(&mut self, victim: usize, endpoints: P, mut edge: E) -> Watts
     where
         P: Fn(usize) -> (Point, Point),
         E: FnMut(usize) -> Watts,
     {
-        let Self {
-            n,
-            contrib,
-            sum,
-            sum_dirty,
-            live,
-            cull,
-        } = self;
-        let n = *n;
-        if let Some(cull) = cull.as_mut() {
+        if let Some(cull) = self.cull.as_mut() {
             if cull.stale {
-                rebuild_candidates(cull, n, &endpoints);
+                rebuild_candidates(cull, self.n, &endpoints);
             }
         }
-        if !sum_dirty[victim] {
+        if !self.sum_dirty[victim] {
             telemetry::count("net.interference.sum_reuse");
-            return Watts::new(sum[victim]);
+            return Watts::new(self.sum[victim]);
         }
         telemetry::count("net.interference.sum_rebuild");
+        let acc = Self::rebuild_one(victim, self.n, &self.live, &self.cull, &mut edge);
+        self.sum[victim] = acc.watts();
+        self.sum_dirty[victim] = false;
+        self.ndirty -= 1;
+        acc
+    }
+
+    /// Refresh every dirty sum the filter selects, in pair-index order, in
+    /// one pass over the flat arrays. `keep(v)` gates which victims are
+    /// worth rebuilding (the engine skips dead and mobile pairs — mobility
+    /// refreshes positions lazily at event time, so those sums fall back to
+    /// the per-victim lazy path); `edge(v, q)` computes source `q`'s
+    /// contribution at victim `v`. Each victim's sum is produced by the
+    /// same per-victim loop the lazy path runs, so the bulk path is
+    /// bit-identical to demand-driven rebuilds.
+    pub fn rebuild_all<K, P, E>(&mut self, keep: K, endpoints: P, mut edge: E)
+    where
+        K: Fn(usize) -> bool,
+        P: Fn(usize) -> (Point, Point),
+        E: FnMut(usize, usize) -> Watts,
+    {
+        if self.ndirty == 0 {
+            return;
+        }
+        if let Some(cull) = self.cull.as_mut() {
+            if cull.stale {
+                rebuild_candidates(cull, self.n, &endpoints);
+            }
+        }
+        for v in 0..self.n {
+            if !self.sum_dirty[v] || !keep(v) {
+                continue;
+            }
+            telemetry::count("net.interference.sum_rebuild");
+            let acc = Self::rebuild_one(v, self.n, &self.live, &self.cull, &mut |q| edge(v, q));
+            self.sum[v] = acc.watts();
+            self.sum_dirty[v] = false;
+            self.ndirty -= 1;
+        }
+    }
+
+    /// One victim's sum: live sources in pair-index order (the cull's
+    /// candidate lists are sorted, so the culled walk keeps that order).
+    /// This is the single accumulation loop both the lazy and bulk paths
+    /// share — the bitwise contract lives here.
+    fn rebuild_one(
+        victim: usize,
+        n: usize,
+        live: &[bool],
+        cull: &Option<Cull>,
+        edge: &mut impl FnMut(usize) -> Watts,
+    ) -> Watts {
         let mut acc = Watts::new(0.0);
         let mut add = |q: usize| {
             if q == victim || !live[q] {
                 return;
             }
-            let slot = &mut contrib[victim * n + q];
-            if slot.is_nan() {
-                telemetry::count("net.interference.edge_recompute");
-                *slot = edge(q).watts();
-            }
-            acc += Watts::new(*slot);
+            telemetry::count("net.interference.edge_recompute");
+            acc += edge(q);
         };
         match cull {
-            Some(c) => {
+            Some(c) if !c.all => {
                 for &q in &c.near[victim] {
                     add(q as usize);
                 }
             }
-            None => {
+            // No cull, or a cull whose cutoff covers the whole scene: the
+            // full pair-index walk (identical order either way).
+            _ => {
                 for q in 0..n {
                     add(q);
                 }
             }
         }
-        sum[victim] = acc.watts();
-        sum_dirty[victim] = false;
         acc
     }
 }
@@ -255,6 +327,33 @@ where
     P: Fn(usize) -> (Point, Point),
 {
     let c = cull.cutoff;
+    // Degenerate case first: if the whole scene's bounding-box diagonal is
+    // within the cutoff, no source can ever be culled for any victim. Every
+    // in-room and street-scale scenario lands here (the conservative cutoff
+    // is on the order of hundreds of kilometres), so don't materialize 10⁴
+    // copies of `0..n` — mark the cull transparent and let the sum walk the
+    // flat arrays directly.
+    let (mut lo_x, mut lo_y) = (f64::INFINITY, f64::INFINITY);
+    let (mut hi_x, mut hi_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for q in 0..n {
+        let (a, b) = endpoints(q);
+        for p in [a, b] {
+            lo_x = lo_x.min(p.x);
+            lo_y = lo_y.min(p.y);
+            hi_x = hi_x.max(p.x);
+            hi_y = hi_y.max(p.y);
+        }
+    }
+    let diag2 = (hi_x - lo_x).powi(2) + (hi_y - lo_y).powi(2);
+    if n > 0 && diag2 <= c * c {
+        cull.all = true;
+        for near in &mut cull.near {
+            near.clear();
+        }
+        cull.stale = false;
+        return;
+    }
+    cull.all = false;
     let cell = |p: Point| ((p.x / c).floor() as i64, (p.y / c).floor() as i64);
     let mut grid: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
     for q in 0..n {
@@ -362,9 +461,11 @@ mod tests {
         for v in 0..6 {
             cache.interference(v, |q| eps[q], edge_fn(&eps, v));
         }
+        assert!(!cache.any_dirty(), "warm cache should be clean");
         // Kill pair 2.
         live[2] = false;
         cache.mark_dead(2);
+        assert!(cache.any_dirty());
         for v in 0..6 {
             let got = cache.interference(v, |q| eps[q], edge_fn(&eps, v));
             assert_eq!(
@@ -382,6 +483,31 @@ mod tests {
                 brute(&eps, &live, v).watts().to_bits()
             );
         }
+    }
+
+    #[test]
+    fn bulk_rebuild_matches_lazy_path_bitwise() {
+        // Two identical caches; one warmed by the bulk wave sweep, one by
+        // per-victim lazy calls. Every sum must agree bit-for-bit, and the
+        // bulk-warmed cache must serve clean O(1) hits afterwards.
+        let eps = layout(11, 2.5);
+        let mut bulk = PairGainCache::new(11);
+        let mut lazy = PairGainCache::new(11);
+        bulk.rebuild_all(|_| true, |q| eps[q], |v, q| edge_fn(&eps, v)(q));
+        assert!(!bulk.any_dirty());
+        for v in 0..11 {
+            let a = bulk.interference(v, |q| eps[q], |_| panic!("bulk sum was clean"));
+            let b = lazy.interference(v, |q| eps[q], edge_fn(&eps, v));
+            assert_eq!(a.watts().to_bits(), b.watts().to_bits(), "victim {v}");
+        }
+        // A filtered bulk pass leaves the skipped victim dirty (and says so).
+        bulk.mark_dead(3);
+        lazy.mark_dead(3);
+        bulk.rebuild_all(|v| v != 7, |q| eps[q], |v, q| edge_fn(&eps, v)(q));
+        assert!(bulk.any_dirty(), "skipped victim must keep the hint set");
+        let a = bulk.interference(7, |q| eps[q], edge_fn(&eps, 7));
+        let b = lazy.interference(7, |q| eps[q], edge_fn(&eps, 7));
+        assert_eq!(a.watts().to_bits(), b.watts().to_bits());
     }
 
     #[test]

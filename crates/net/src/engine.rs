@@ -21,13 +21,38 @@
 //! tags) see each other at the near-field floor, modelling the fact that a
 //! single radio cannot host two uncoordinated sessions at once.
 //!
+//! # Structure-of-arrays layout
+//!
+//! Device and pair state live in flat parallel arrays indexed by device /
+//! pair id (`Devices`, `Pairs`) rather than per-entity structs. At 10⁴
+//! pairs the hot loops — the interference sweep, quantum commits, report
+//! assembly — walk one field of every entity, and a columnar layout turns
+//! each of those walks into a dense sequential scan instead of a strided
+//! pointer chase. The arithmetic is unchanged; only addresses moved.
+//!
+//! # Batched planning waves
+//!
+//! A planning wave (the burst of `install_plan` calls after bring-up, a
+//! death, or a mobility refresh) is executed as a batched sweep
+//! (`Fleet::wave_sweep`): first the [`PairGainCache`] bulk-rebuilds every
+//! stale interference sum over the flat arrays in pair-index order, then
+//! the wave's quantized [`OptionsMemo`] keys are collected, sorted and
+//! deduplicated, and the misses are resolved in key order through the
+//! batched BER surface (`phy::surface::BerSurface::ber_batch`) — one lock
+//! acquisition per (mode, rate) group for the whole wave. This is
+//! output-neutral by construction: memo values are canonical functions of
+//! their quantized keys, bulk-rebuilt sums run the identical per-victim
+//! accumulation loop the lazy path runs, and any state change after the
+//! sweep re-dirties the caches so the per-pair path recomputes exactly what
+//! the pre-refactor engine would have.
+//!
 //! Determinism: one pending event per (pair, kind) keeps kernel keys
 //! unique; the pair index is the kernel's entity id; all floating-point
 //! reductions iterate in pair/device index order.
 
 use crate::arbitration::Arbitration;
 use crate::cache::{far_field_cutoff, PairGainCache};
-use crate::interference::{carrier_contribution, CarrierSource, OptionsMemo};
+use crate::interference::{carrier_contribution, CarrierSource, OptionsKey, OptionsMemo};
 use crate::kernel::EventQueue;
 use crate::metrics::FleetReport;
 use crate::scenario::FleetScenario;
@@ -116,28 +141,49 @@ impl PendingQuantum {
     }
 }
 
+/// Per-device runtime state, one flat array per field, indexed by device
+/// id. Each array is touched by a different part of the engine (positions
+/// by the interference sweep, batteries by affordability checks, the
+/// accounting columns by commits and the final report), so splitting them
+/// keeps every hot walk dense.
 #[derive(Debug)]
-struct DeviceRt {
-    pos: Point,
-    battery: Battery,
-    spent: Joules,
-    dead_at: Option<Seconds>,
-    carrier_time: Seconds,
+struct Devices {
+    pos: Vec<Point>,
+    battery: Vec<Battery>,
+    spent: Vec<Joules>,
+    dead_at: Vec<Option<Seconds>>,
+    carrier_time: Vec<Seconds>,
 }
 
+/// Per-pair runtime state in flat parallel arrays indexed by pair id. The
+/// scenario-derived columns (`tx`, `rx`, `pin`, `mobile`) are copied in at
+/// construction so the planning-wave sweep never strides through
+/// `FleetScenario::pairs` structs.
 #[derive(Debug)]
-struct PairRt {
-    fsm: OffloadFsm,
-    plan: Option<OffloadPlan>,
-    pending: Option<PendingQuantum>,
-    bits: f64,
-    mode_bits: [(Mode, f64); 3],
-    dead_at: Option<Seconds>,
+struct Pairs {
+    tx: Vec<usize>,
+    rx: Vec<usize>,
+    pin: Vec<Option<Mode>>,
+    mobile: Vec<bool>,
+    fsm: Vec<OffloadFsm>,
+    plan: Vec<Option<OffloadPlan>>,
+    pending: Vec<Option<PendingQuantum>>,
+    bits: Vec<f64>,
+    /// Delivered bits per mode, indexed by `Mode as usize` (the
+    /// discriminants follow `Mode::ALL` order).
+    mode_bits: Vec<[f64; 3]>,
+    dead_at: Vec<Option<Seconds>>,
     /// Unit vector tx→rx for mobility displacement.
-    dir: Point,
+    dir: Vec<Point>,
     /// Primary (largest-fraction) mode of the last installed plan, for
     /// telemetry `ModeSwitch` edges.
-    last_mode: Option<Mode>,
+    last_mode: Vec<Option<Mode>>,
+}
+
+impl Pairs {
+    fn len(&self) -> usize {
+        self.tx.len()
+    }
 }
 
 /// Run a fleet scenario to its horizon (or until every session dies).
@@ -150,54 +196,67 @@ pub fn run_fleet(scenario: &FleetScenario) -> FleetReport {
 struct Fleet<'a> {
     sc: &'a FleetScenario,
     q: EventQueue<Ev>,
-    devices: Vec<DeviceRt>,
-    pairs: Vec<PairRt>,
+    devices: Devices,
+    pairs: Pairs,
     replans: u64,
     /// Cached pairwise interference (invalidated on death / mobility).
     gains: PairGainCache,
     /// Quantize-and-memoized `options_under` (per-engine, so a run stays a
     /// pure function of its scenario).
     options: OptionsMemo,
+    /// The options memo has never been prefetched (first wave pending).
+    wave_cold: bool,
+    /// Scratch for the wave sweep's key collection; capacity is retained
+    /// across waves so steady-state sweeps stay allocation-free.
+    wave_keys: Vec<OptionsKey>,
 }
 
 impl<'a> Fleet<'a> {
     fn new(sc: &'a FleetScenario) -> Self {
-        let devices = sc
-            .devices
-            .iter()
-            .map(|d| DeviceRt {
-                pos: d.pos,
-                battery: Battery::new(d.battery),
-                spent: Joules::ZERO,
-                dead_at: None,
-                carrier_time: Seconds::ZERO,
-            })
-            .collect();
-        let pairs = sc
-            .pairs
-            .iter()
-            .map(|p| PairRt {
-                fsm: OffloadFsm::new(),
-                plan: None,
-                pending: None,
-                bits: 0.0,
-                mode_bits: [
-                    (Mode::Active, 0.0),
-                    (Mode::Passive, 0.0),
-                    (Mode::Backscatter, 0.0),
-                ],
-                dead_at: None,
-                dir: sc.devices[p.tx]
+        let n_dev = sc.devices.len();
+        let mut devices = Devices {
+            pos: Vec::with_capacity(n_dev),
+            battery: Vec::with_capacity(n_dev),
+            spent: vec![Joules::ZERO; n_dev],
+            dead_at: vec![None; n_dev],
+            carrier_time: vec![Seconds::ZERO; n_dev],
+        };
+        for d in &sc.devices {
+            devices.pos.push(d.pos);
+            devices.battery.push(Battery::new(d.battery));
+        }
+        let n = sc.pairs.len();
+        let mut pairs = Pairs {
+            tx: Vec::with_capacity(n),
+            rx: Vec::with_capacity(n),
+            pin: Vec::with_capacity(n),
+            mobile: Vec::with_capacity(n),
+            fsm: Vec::with_capacity(n),
+            plan: vec![None; n],
+            pending: vec![None; n],
+            bits: vec![0.0; n],
+            mode_bits: vec![[0.0; 3]; n],
+            dead_at: vec![None; n],
+            dir: Vec::with_capacity(n),
+            last_mode: vec![None; n],
+        };
+        for p in &sc.pairs {
+            pairs.tx.push(p.tx);
+            pairs.rx.push(p.rx);
+            pairs.pin.push(p.pinned_mode);
+            pairs.mobile.push(p.walk.is_some());
+            pairs.fsm.push(OffloadFsm::new());
+            pairs.dir.push(
+                sc.devices[p.tx]
                     .pos
                     .direction_to(sc.devices[p.rx].pos)
                     .unwrap_or(Point::new(1.0, 0.0)),
-                last_mode: None,
-            })
-            .collect();
+            );
+        }
         let gains = if sc.far_field_cull {
-            PairGainCache::with_cull(sc.pairs.len(), far_field_cutoff(&sc.ch))
+            PairGainCache::with_cull(n, far_field_cutoff(&sc.ch))
         } else {
-            PairGainCache::new(sc.pairs.len())
+            PairGainCache::new(n)
         };
         Fleet {
             sc,
@@ -207,6 +266,8 @@ impl<'a> Fleet<'a> {
             replans: 0,
             gains,
             options: OptionsMemo::new(),
+            wave_cold: true,
+            wave_keys: Vec::new(),
         }
     }
 
@@ -245,24 +306,35 @@ impl<'a> Fleet<'a> {
             end_time,
             events: self.q.delivered(),
             replans: self.replans,
-            pair_bits: self.pairs.iter().map(|p| p.bits).collect(),
-            pair_mode_bits: self.pairs.iter().map(|p| p.mode_bits).collect(),
-            pair_dead_at: self.pairs.iter().map(|p| p.dead_at).collect(),
-            device_spent: self.devices.iter().map(|d| d.spent).collect(),
-            device_dead_at: self.devices.iter().map(|d| d.dead_at).collect(),
-            device_carrier_time: self.devices.iter().map(|d| d.carrier_time).collect(),
+            pair_bits: self.pairs.bits.clone(),
+            pair_mode_bits: self
+                .pairs
+                .mode_bits
+                .iter()
+                .map(|mb| {
+                    [
+                        (Mode::Active, mb[Mode::Active as usize]),
+                        (Mode::Passive, mb[Mode::Passive as usize]),
+                        (Mode::Backscatter, mb[Mode::Backscatter as usize]),
+                    ]
+                })
+                .collect(),
+            pair_dead_at: self.pairs.dead_at.clone(),
+            device_spent: self.devices.spent.clone(),
+            device_dead_at: self.devices.dead_at.clone(),
+            device_carrier_time: self.devices.carrier_time.clone(),
         }
     }
 
     fn handle(&mut self, p: usize, kind: Kind, now: Seconds) {
-        if self.pairs[p].fsm.is_dead() {
+        if self.pairs.fsm[p].is_dead() {
             return; // stale event for a torn-down session
         }
         // A shared device may have died serving another pair since this
         // event was scheduled.
-        let (tx, rx) = (self.sc.pairs[p].tx, self.sc.pairs[p].rx);
+        let (tx, rx) = (self.pairs.tx[p], self.pairs.rx[p]);
         if kind != Kind::QuantumDone
-            && (self.devices[tx].battery.is_dead() || self.devices[rx].battery.is_dead())
+            && (self.devices.battery[tx].is_dead() || self.devices.battery[rx].is_dead())
         {
             self.kill(p, now);
             return;
@@ -281,10 +353,9 @@ impl<'a> Fleet<'a> {
         // catches the transmitter's beacon (§4.2 step 0).
         telemetry::emit(telemetry::Event::WakeupDetect {
             at: now,
-            track: telemetry::Track::Device(self.sc.pairs[p].rx as u32),
+            track: telemetry::Track::Device(self.pairs.rx[p] as u32),
         });
-        self.pairs[p]
-            .fsm
+        self.pairs.fsm[p]
             .on(FsmEvent::Associated)
             .expect("Init accepts Associated");
         let mut dt = Seconds::ZERO;
@@ -298,11 +369,11 @@ impl<'a> Fleet<'a> {
                 .expect("active 1 Mbps is always characterized");
             let t = pp.rate.bps().time_for_bits(STATUS_BITS);
             let e = pp.tx * t + pp.rx * t;
-            let (tx, rx) = (self.sc.pairs[p].tx, self.sc.pairs[p].rx);
+            let (tx, rx) = (self.pairs.tx[p], self.pairs.rx[p]);
             self.charge(tx, e, now);
             self.charge(rx, e, now);
             dt = pp.rate.bps().time_for_bits(2.0 * STATUS_BITS);
-            if self.devices[tx].battery.is_dead() || self.devices[rx].battery.is_dead() {
+            if self.devices.battery[tx].is_dead() || self.devices.battery[rx].is_dead() {
                 self.kill(p, now);
                 return;
             }
@@ -311,8 +382,7 @@ impl<'a> Fleet<'a> {
     }
 
     fn on_status_exchanged(&mut self, p: usize, now: Seconds) {
-        self.pairs[p]
-            .fsm
+        self.pairs.fsm[p]
             .on(FsmEvent::StatusExchanged)
             .expect("ExchangingStatus accepts StatusExchanged");
         // `None` means probing drained a battery; the pair is already killed.
@@ -326,7 +396,7 @@ impl<'a> Fleet<'a> {
             return;
         }
         self.schedule_quantum(p, now);
-        if !self.pairs[p].fsm.is_dead() {
+        if !self.pairs.fsm[p].is_dead() {
             self.schedule(now + self.sc.replan_interval, p, Kind::Replan);
         }
     }
@@ -334,8 +404,7 @@ impl<'a> Fleet<'a> {
     fn on_replan(&mut self, p: usize, now: Seconds) {
         let _span = telemetry::span("net.replan");
         self.replans += 1;
-        self.pairs[p]
-            .fsm
+        self.pairs.fsm[p]
             .on(FsmEvent::RecomputeDue)
             .expect("Braiding accepts RecomputeDue");
         // Re-plan probes are charged but modelled as instantaneous: the
@@ -354,29 +423,25 @@ impl<'a> Fleet<'a> {
     }
 
     fn on_quantum_done(&mut self, p: usize, now: Seconds) {
-        self.pairs[p]
-            .fsm
+        self.pairs.fsm[p]
             .on(FsmEvent::PacketDelivered)
             .expect("Braiding accepts PacketDelivered");
-        let pending = self.pairs[p]
-            .pending
+        let pending = self.pairs.pending[p]
             .take()
             .expect("a quantum was in flight");
-        let (tx, rx) = (self.sc.pairs[p].tx, self.sc.pairs[p].rx);
+        let (tx, rx) = (self.pairs.tx[p], self.pairs.rx[p]);
         self.charge(tx, pending.e_tx, now);
         self.charge(rx, pending.e_rx, now);
-        self.pairs[p].bits += pending.bits;
+        self.pairs.bits[p] += pending.bits;
         for (mode, rate, bits, on_tx, on_rx, airtime) in pending.slices() {
-            for (m, b) in self.pairs[p].mode_bits.iter_mut() {
-                if m == mode {
-                    *b += bits;
-                }
-            }
+            // Exactly the one matching mode column accumulates, so this is
+            // the same arithmetic as the per-pair `[(Mode, f64); 3]` scan.
+            self.pairs.mode_bits[p][*mode as usize] += bits;
             if *on_tx {
-                self.devices[tx].carrier_time += *airtime;
+                self.devices.carrier_time[tx] += *airtime;
             }
             if *on_rx {
-                self.devices[rx].carrier_time += *airtime;
+                self.devices.carrier_time[rx] += *airtime;
             }
             telemetry::emit(telemetry::Event::QuantumDelivered {
                 at: now,
@@ -390,7 +455,7 @@ impl<'a> Fleet<'a> {
             at: now,
             track: telemetry::Track::Pair(p as u32),
         });
-        if pending.last || self.devices[tx].battery.is_dead() || self.devices[rx].battery.is_dead()
+        if pending.last || self.devices.battery[tx].is_dead() || self.devices.battery[rx].is_dead()
         {
             self.kill(p, now);
             return;
@@ -406,32 +471,117 @@ impl<'a> Fleet<'a> {
         }
         let d = self.pair_distance(p, now);
         let report = LinkProber::ideal().probe(&self.sc.ch, d);
-        let (tx, rx) = (self.sc.pairs[p].tx, self.sc.pairs[p].rx);
+        let (tx, rx) = (self.pairs.tx[p], self.pairs.rx[p]);
         self.charge(tx, report.energy_initiator, now);
         self.charge(rx, report.energy_responder, now);
-        if self.devices[tx].battery.is_dead() || self.devices[rx].battery.is_dead() {
+        if self.devices.battery[tx].is_dead() || self.devices.battery[rx].is_dead() {
             self.kill(p, now);
             return None;
         }
         Some(report.airtime)
     }
 
+    /// The batched planning-wave sweep. Runs (cheaply) at the head of every
+    /// `install_plan`; does real work only when interference sums are stale
+    /// or the options memo has never been prefetched.
+    ///
+    /// Three stages, all over the flat arrays in pair-index order:
+    /// 1. bulk-rebuild every stale interference sum for static live
+    ///    victims ([`PairGainCache::rebuild_all`] — the identical
+    ///    per-victim loop the lazy path runs, so not a bit moves);
+    /// 2. collect the wave's quantized `OptionsMemo` keys (static live
+    ///    pairs only — mobile pairs refresh their geometry at event time
+    ///    and take the per-pair path), then sort + dedup;
+    /// 3. resolve the missing keys in key order through the batched BER
+    ///    surface ([`OptionsMemo::prefetch`]).
+    ///
+    /// Output-neutrality: memo values are canonical functions of their
+    /// quantized keys, so prefilling the memo cannot change what `get`
+    /// returns; and any death or move after the sweep re-dirties the gain
+    /// cache, forcing the per-pair path to recompute exactly what the
+    /// pre-refactor engine would have. The `soa-vs-baseline` gate holds
+    /// the engine to that byte-for-byte.
+    fn wave_sweep(&mut self) {
+        let overlap = self.sc.arbitration.carriers_overlap();
+        let needs_gains = overlap && self.gains.any_dirty();
+        if !needs_gains && !self.wave_cold {
+            return;
+        }
+        let _span = telemetry::span("net.wave");
+        let sc = self.sc;
+        let pos = &self.devices.pos;
+        let Pairs {
+            tx,
+            rx,
+            fsm,
+            mobile,
+            ..
+        } = &self.pairs;
+        if needs_gains {
+            self.gains.rebuild_all(
+                |v| !mobile[v] && !fsm[v].is_dead(),
+                |q| (pos[tx[q]], pos[rx[q]]),
+                |v, q| {
+                    let vp = pos[rx[v]];
+                    let a = pos[tx[q]];
+                    let b = pos[rx[q]];
+                    let src = if a.distance(vp) <= b.distance(vp) {
+                        a
+                    } else {
+                        b
+                    };
+                    carrier_contribution(
+                        &sc.ch,
+                        vp,
+                        &CarrierSource {
+                            pos: src,
+                            rf: sc.ch.carrier_rf,
+                            relation: sc.arbitration.relation(v, q),
+                        },
+                    )
+                },
+            );
+        }
+        self.wave_keys.clear();
+        for p in 0..tx.len() {
+            if fsm[p].is_dead() || mobile[p] {
+                continue;
+            }
+            let interference = if overlap {
+                match self.gains.cached_sum(p) {
+                    Some(w) => w,
+                    None => continue, // re-dirtied mid-sweep: per-pair path
+                }
+            } else {
+                Watts::ZERO
+            };
+            let d = pos[tx[p]].distance(pos[rx[p]]);
+            if let Some(key) = OptionsMemo::key_for(d, interference, self.pairs.pin[p]) {
+                self.wave_keys.push(key);
+            }
+        }
+        self.wave_keys.sort_unstable();
+        self.wave_keys.dedup();
+        self.options.prefetch(&self.sc.ch, &self.wave_keys);
+        self.wave_cold = false;
+    }
+
     /// Probe outcome → plan installation. Returns `false` when the pair
     /// died (no viable mode).
     fn install_plan(&mut self, p: usize, now: Seconds) -> bool {
+        self.wave_sweep();
         let d = self.pair_distance(p, now);
         let interference = self.interference_for(p);
         // The pin goes *into* the option search (non-pinned modes are never
         // evaluated), and the result is memoized on the quantized
         // (distance, interference, pin) key.
-        let pin = self.sc.pairs[p].pinned_mode;
+        let pin = self.pairs.pin[p];
         let opts = self.options.get(&self.sc.ch, d, interference, pin);
         if opts.is_empty() {
-            self.pairs[p]
-                .fsm
+            self.pairs.fsm[p]
                 .on(FsmEvent::ProbesEmpty)
                 .expect("Probing accepts ProbesEmpty");
-            self.pairs[p].dead_at = Some(now);
+            self.pairs.dead_at[p] = Some(now);
             self.gains.mark_dead(p);
             if telemetry::enabled() {
                 let track = telemetry::Track::Pair(p as u32);
@@ -450,15 +600,14 @@ impl<'a> Fleet<'a> {
             }
             return false;
         }
-        let (tx, rx) = (self.sc.pairs[p].tx, self.sc.pairs[p].rx);
+        let (tx, rx) = (self.pairs.tx[p], self.pairs.rx[p]);
         let plan = solve_memo(
             &opts,
-            self.devices[tx].battery.remaining(),
-            self.devices[rx].battery.remaining(),
+            self.devices.battery[tx].remaining(),
+            self.devices.battery[rx].remaining(),
         )
         .expect("non-empty options always yield a plan");
-        self.pairs[p]
-            .fsm
+        self.pairs.fsm[p]
             .on(FsmEvent::ProbesOk)
             .expect("Probing accepts ProbesOk");
         if telemetry::enabled() {
@@ -479,26 +628,26 @@ impl<'a> Fleet<'a> {
                 primary: primary.map(Into::into),
             });
             if let Some(primary) = primary {
-                if self.pairs[p].last_mode != Some(primary) {
+                if self.pairs.last_mode[p] != Some(primary) {
                     telemetry::emit(telemetry::Event::ModeSwitch {
                         at: now,
                         track,
-                        from: self.pairs[p].last_mode.map(Into::into),
+                        from: self.pairs.last_mode[p].map(Into::into),
                         to: primary.into(),
                     });
-                    self.pairs[p].last_mode = Some(primary);
+                    self.pairs.last_mode[p] = Some(primary);
                 }
             }
         }
-        self.pairs[p].plan = Some(plan);
+        self.pairs.plan[p] = Some(plan);
         true
     }
 
     /// Schedule the next braid quantum under the installed plan. Kills the
     /// pair instead when not even one bit is affordable.
     fn schedule_quantum(&mut self, p: usize, now: Seconds) {
-        let plan = self.pairs[p].plan.expect("braiding under a plan");
-        let (tx, rx) = (self.sc.pairs[p].tx, self.sc.pairs[p].rx);
+        let plan = self.pairs.plan[p].expect("braiding under a plan");
+        let (tx, rx) = (self.pairs.tx[p], self.pairs.rx[p]);
 
         // Per-bit costs with the same amortized Table 5 switching charge as
         // `mac::sim::simulate_braidio`.
@@ -524,8 +673,8 @@ impl<'a> Fleet<'a> {
         let c_tx = plan.tx_cost.joules_per_bit() + spp * sw_tx / switch_bits;
         let c_rx = plan.rx_cost.joules_per_bit() + spp * sw_rx / switch_bits;
 
-        let affordable = (self.devices[tx].battery.remaining().joules() / c_tx)
-            .min(self.devices[rx].battery.remaining().joules() / c_rx);
+        let affordable = (self.devices.battery[tx].remaining().joules() / c_tx)
+            .min(self.devices.battery[rx].remaining().joules() / c_rx);
         let quantum_bits = switch_bits;
         let bits = quantum_bits.min(affordable);
         if !bits.is_finite() || bits < 1.0 {
@@ -546,7 +695,7 @@ impl<'a> Fleet<'a> {
             airtime += dt;
         }
         let finish = self.finish_time(p, now, airtime);
-        self.pairs[p].pending = Some(PendingQuantum {
+        self.pairs.pending[p] = Some(PendingQuantum {
             bits,
             e_tx: Joules::new(bits * c_tx),
             e_rx: Joules::new(bits * c_rx),
@@ -599,28 +748,26 @@ impl<'a> Fleet<'a> {
     }
 
     /// Worst-case foreign-carrier power at pair `p`'s receiver, served from
-    /// the incremental cache: a clean sum is a single lookup; a dirty one
-    /// replays cached per-edge contributions in pair-index order, so it is
-    /// bit-identical to the brute-force rescan this replaced (the
-    /// debug-build shadow check below enforces exactly that).
+    /// the incremental cache: after the wave sweep this is a clean O(1)
+    /// lookup; a still-dirty sum (mobile pair, mid-wave invalidation)
+    /// recomputes the live edges in pair-index order, bit-identical to the
+    /// brute-force rescan (the debug-build shadow check below enforces
+    /// exactly that).
     fn interference_for(&mut self, p: usize) -> Watts {
         if !self.sc.arbitration.carriers_overlap() {
             return Watts::ZERO;
         }
         let sc = self.sc;
-        let devices = &self.devices;
-        let victim = devices[sc.pairs[p].rx].pos;
+        let pos = &self.devices.pos;
+        let (ptx, prx) = (&self.pairs.tx, &self.pairs.rx);
+        let victim = pos[prx[p]];
         let w = self.gains.interference(
             p,
+            |q| (pos[ptx[q]], pos[prx[q]]),
             |q| {
-                let qp = &sc.pairs[q];
-                (devices[qp.tx].pos, devices[qp.rx].pos)
-            },
-            |q| {
-                let qp = &sc.pairs[q];
-                let a = devices[qp.tx].pos;
-                let b = devices[qp.rx].pos;
-                let pos = if a.distance(victim) <= b.distance(victim) {
+                let a = pos[ptx[q]];
+                let b = pos[prx[q]];
+                let src = if a.distance(victim) <= b.distance(victim) {
                     a
                 } else {
                     b
@@ -629,7 +776,7 @@ impl<'a> Fleet<'a> {
                     &sc.ch,
                     victim,
                     &CarrierSource {
-                        pos,
+                        pos: src,
                         rf: sc.ch.carrier_rf,
                         relation: sc.arbitration.relation(p, q),
                     },
@@ -648,19 +795,19 @@ impl<'a> Fleet<'a> {
     /// view matches the FSMs.
     #[cfg(debug_assertions)]
     fn shadow_check(&self, p: usize, got: Watts) {
-        let victim = self.devices[self.sc.pairs[p].rx].pos;
+        let victim = self.devices.pos[self.pairs.rx[p]];
         let mut brute = Watts::new(0.0);
-        for (qi, qp) in self.sc.pairs.iter().enumerate() {
+        for qi in 0..self.pairs.len() {
             debug_assert_eq!(
                 self.gains.is_live(qi),
-                !self.pairs[qi].fsm.is_dead(),
+                !self.pairs.fsm[qi].is_dead(),
                 "cache liveness diverged for pair {qi}"
             );
-            if qi == p || self.pairs[qi].fsm.is_dead() {
+            if qi == p || self.pairs.fsm[qi].is_dead() {
                 continue;
             }
-            let a = self.devices[qp.tx].pos;
-            let b = self.devices[qp.rx].pos;
+            let a = self.devices.pos[self.pairs.tx[qi]];
+            let b = self.devices.pos[self.pairs.rx[qi]];
             let pos = if a.distance(victim) <= b.distance(victim) {
                 a
             } else {
@@ -695,14 +842,14 @@ impl<'a> Fleet<'a> {
     /// The pair's current separation; a mobile receiver is displaced along
     /// the pair's axis (positions refresh lazily, at probe/re-plan times).
     fn pair_distance(&mut self, p: usize, now: Seconds) -> Meters {
-        let (tx, rx) = (self.sc.pairs[p].tx, self.sc.pairs[p].rx);
+        let (tx, rx) = (self.pairs.tx[p], self.pairs.rx[p]);
         match self.sc.pairs[p].walk {
-            None => self.devices[tx].pos.distance(self.devices[rx].pos),
+            None => self.devices.pos[tx].distance(self.devices.pos[rx]),
             Some(walk) => {
                 let mut w = walk;
                 let d = w.distance_at(now);
-                let dir = self.pairs[p].dir;
-                self.devices[rx].pos = self.devices[tx].pos.offset_along(dir, d);
+                let dir = self.pairs.dir[p];
+                self.devices.pos[rx] = self.devices.pos[tx].offset_along(dir, d);
                 // The pair moved: its cached interference edges (as victim
                 // and as source) are stale for everyone.
                 self.gains.invalidate_pair(p);
@@ -717,19 +864,17 @@ impl<'a> Fleet<'a> {
             track: telemetry::Track::Device(dev as u32),
             joules: e,
         });
-        let d = &mut self.devices[dev];
-        d.spent += e;
-        d.battery.draw(e);
-        if d.battery.is_dead() && d.dead_at.is_none() {
-            d.dead_at = Some(now);
+        self.devices.spent[dev] += e;
+        self.devices.battery[dev].draw(e);
+        if self.devices.battery[dev].is_dead() && self.devices.dead_at[dev].is_none() {
+            self.devices.dead_at[dev] = Some(now);
         }
     }
 
     fn kill(&mut self, p: usize, now: Seconds) {
         self.gains.mark_dead(p);
-        if !self.pairs[p].fsm.is_dead() {
-            self.pairs[p]
-                .fsm
+        if !self.pairs.fsm[p].is_dead() {
+            self.pairs.fsm[p]
                 .on(FsmEvent::BatteryDead)
                 .expect("live states accept BatteryDead");
             telemetry::emit(telemetry::Event::SessionDead {
@@ -738,8 +883,8 @@ impl<'a> Fleet<'a> {
                 reason: telemetry::DeathReason::BatteryDead,
             });
         }
-        if self.pairs[p].dead_at.is_none() {
-            self.pairs[p].dead_at = Some(now);
+        if self.pairs.dead_at[p].is_none() {
+            self.pairs.dead_at[p] = Some(now);
         }
         self.abort_pending(p, now);
     }
@@ -747,7 +892,7 @@ impl<'a> Fleet<'a> {
     /// Drop the pair's quantum in flight, if any, surfacing it as lost
     /// telemetry and closing the matching carrier grant.
     fn abort_pending(&mut self, p: usize, at: Seconds) {
-        let Some(pending) = self.pairs[p].pending.take() else {
+        let Some(pending) = self.pairs.pending[p].take() else {
             return;
         };
         if telemetry::enabled() {

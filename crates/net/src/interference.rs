@@ -17,11 +17,12 @@
 use braidio_mac::coexistence::ChannelRelation;
 use braidio_mac::offload::{LinkOption, OptionSet};
 use braidio_phy::ber::ber_ook_noncoherent_fast;
+use braidio_phy::surface::{shared_batch, BerModel};
 use braidio_radio::characterization::{Characterization, Rate, OPERATIONAL_BER};
 use braidio_radio::Mode;
 use braidio_rfsim::geometry::Point;
 use braidio_rfsim::pathloss::free_space_gain;
-use braidio_units::{Meters, Watts};
+use braidio_units::{BitsPerSecond, Meters, Watts};
 
 /// One foreign CW carrier, positioned in the room.
 #[derive(Debug, Clone, Copy)]
@@ -158,8 +159,17 @@ pub fn options_under_pinned(
 const LN_QUANT: f64 = (1u64 << 32) as f64;
 
 /// Bound on the options memo; reaching it clears the map (option sets are
-/// pure functions of their key, so eviction never changes results).
-const OPTIONS_MEMO_CAP: usize = 4096;
+/// pure functions of their key, so eviction never changes results — which
+/// is also why raising the cap for 10⁴-pair fleets is output-neutral).
+const OPTIONS_MEMO_CAP: usize = 65536;
+
+/// A quantized `(distance, interference, pin)` memo key: `(qd, qi, qpin)`
+/// with both axes on the `LN_QUANT` log grid, `qi == i64::MIN` the
+/// exact-zero interference sentinel, and `qpin` the pinned mode's
+/// discriminant plus one (0 = unpinned). The engine's planning-wave sweep
+/// collects these per pair, deduplicates, and hands them to
+/// [`OptionsMemo::prefetch`].
+pub type OptionsKey = (i64, i64, u8);
 
 /// Quantize-and-memoize [`options_under_pinned`] on
 /// `(distance, interference, pin)` — the `solve_memo` trick applied one
@@ -180,14 +190,11 @@ impl OptionsMemo {
         Self::default()
     }
 
-    /// Memoized [`options_under_pinned`].
-    pub fn get(
-        &mut self,
-        ch: &Characterization,
-        d: Meters,
-        interference: Watts,
-        pin: Option<Mode>,
-    ) -> OptionSet {
+    /// The memo key for `(distance, interference, pin)`, or `None` when the
+    /// inputs do not quantize (degenerate geometry such as coincident
+    /// endpoints) — those queries fall through to the exact computation and
+    /// are skipped by the wave prefetch.
+    pub fn key_for(d: Meters, interference: Watts, pin: Option<Mode>) -> Option<OptionsKey> {
         let ld = d.meters().ln();
         let zero_i = interference.watts() <= 0.0;
         let li = if zero_i {
@@ -196,9 +203,7 @@ impl OptionsMemo {
             interference.watts().ln()
         };
         if !ld.is_finite() || !li.is_finite() {
-            // Degenerate geometry (coincident endpoints): fall through to
-            // the exact computation rather than inventing a grid for it.
-            return options_under_pinned(ch, d, interference, pin);
+            return None;
         }
         let qd = (ld * LN_QUANT).round() as i64;
         let qi = if zero_i {
@@ -207,19 +212,49 @@ impl OptionsMemo {
             (li * LN_QUANT).round() as i64
         };
         let qpin = pin.map(|m| m as u8 + 1).unwrap_or(0);
-        let key = (qd, qi, qpin);
+        Some((qd, qi, qpin))
+    }
+
+    /// The canonical (quantized) inputs a key stands for — exactly the
+    /// values the memoized evaluation runs on, so resolving a key through
+    /// [`options_under_batch`] and through a [`get`](Self::get) miss cannot
+    /// differ by a bit.
+    fn decode_key(key: OptionsKey) -> (Meters, Watts, Option<Mode>) {
+        let (qd, qi, qpin) = key;
+        let d = Meters::new((qd as f64 / LN_QUANT).exp());
+        let i = if qi == i64::MIN {
+            Watts::ZERO
+        } else {
+            Watts::new((qi as f64 / LN_QUANT).exp())
+        };
+        let pin = if qpin == 0 {
+            None
+        } else {
+            Some(Mode::ALL[(qpin - 1) as usize])
+        };
+        (d, i, pin)
+    }
+
+    /// Memoized [`options_under_pinned`].
+    pub fn get(
+        &mut self,
+        ch: &Characterization,
+        d: Meters,
+        interference: Watts,
+        pin: Option<Mode>,
+    ) -> OptionSet {
+        let Some(key) = Self::key_for(d, interference, pin) else {
+            // Degenerate geometry (coincident endpoints): fall through to
+            // the exact computation rather than inventing a grid for it.
+            return options_under_pinned(ch, d, interference, pin);
+        };
         if let Some(set) = self.cache.get(&key) {
             braidio_telemetry::count("net.options.memo_hit");
             return *set;
         }
         // Canonical evaluation on the quantized inputs: the cached value is
         // a pure function of the key, independent of the call that missed.
-        let dq = Meters::new((qd as f64 / LN_QUANT).exp());
-        let iq = if zero_i {
-            Watts::ZERO
-        } else {
-            Watts::new((qi as f64 / LN_QUANT).exp())
-        };
+        let (dq, iq, pin) = Self::decode_key(key);
         let set = options_under_pinned(ch, dq, iq, pin);
         if self.cache.len() >= OPTIONS_MEMO_CAP {
             self.cache.clear();
@@ -228,6 +263,141 @@ impl OptionsMemo {
         braidio_telemetry::count("net.options.memo_miss");
         set
     }
+
+    /// Resolve a planning wave's worth of keys in one sweep. Keys already
+    /// memoized count as batch hits; the misses are resolved **in the order
+    /// given** through [`options_under_batch`] (one shared-surface lock
+    /// acquisition for the whole miss set) and inserted under the same
+    /// cap-clear policy as [`get`](Self::get). Callers pass the wave's keys
+    /// sorted and deduplicated, so the memo's evolution — and therefore
+    /// every value it ever returns — is a pure function of the key set, not
+    /// of which pair happened to plan first.
+    pub fn prefetch(&mut self, ch: &Characterization, keys: &[OptionsKey]) {
+        let mut misses: Vec<OptionsKey> = Vec::new();
+        for key in keys {
+            if self.cache.contains_key(key) {
+                braidio_telemetry::count("net.options.batch_hit");
+            } else {
+                misses.push(*key);
+            }
+        }
+        if misses.is_empty() {
+            return;
+        }
+        let items: Vec<(Meters, Watts, Option<Mode>)> =
+            misses.iter().map(|&k| Self::decode_key(k)).collect();
+        let sets = options_under_batch(ch, &items);
+        for (key, set) in misses.into_iter().zip(sets) {
+            braidio_telemetry::count("net.options.batch_miss");
+            if self.cache.len() >= OPTIONS_MEMO_CAP {
+                self.cache.clear();
+            }
+            self.cache.insert(key, set);
+        }
+    }
+}
+
+/// Batched [`options_under_pinned`]: one `OptionSet` per input triple,
+/// bit-identical to the scalar calls, with every detector-mode BER query in
+/// the batch resolved through the shared strict [`BerSurface`] tables —
+/// grouped per rate so the whole batch costs one registry pass
+/// ([`shared_batch`]) plus one memo-lock acquisition per (mode, rate)
+/// group instead of one per query.
+///
+/// Bitwise argument: the strict shared surface's evaluator for
+/// [`BerModel::NoncoherentOok`] *is* [`ber_ook_noncoherent_fast`], and
+/// strict surfaces memoize by the γ bit pattern, so a surface-routed
+/// availability decision equals the scalar path's direct call exactly. The
+/// batch evaluates every rate of an interfered detector mode where the
+/// scalar `max_rate_under` short-circuits at the first available one — the
+/// extra evaluations are pure and discarded, and the chosen (mode, rate)
+/// set is identical.
+///
+/// [`BerSurface`]: braidio_phy::surface::BerSurface
+pub fn options_under_batch(
+    ch: &Characterization,
+    items: &[(Meters, Watts, Option<Mode>)],
+) -> Vec<OptionSet> {
+    const NRATES: usize = Rate::ALL.len();
+    let rates: [BitsPerSecond; NRATES] =
+        [Rate::ALL[0].bps(), Rate::ALL[1].bps(), Rate::ALL[2].bps()];
+    let surfaces = shared_batch(BerModel::NoncoherentOok, &rates);
+
+    // Pass 1: settle every availability decision that needs no BER solve
+    // (Active, zero interference, uncharacterized (mode, rate) cells) and
+    // queue the detector-mode γ queries per rate.
+    let nmodes = Mode::ALL.len();
+    let mut avail = vec![false; items.len() * nmodes * NRATES];
+    let slot = |item: usize, mode: Mode, ri: usize| (item * nmodes + mode as usize) * NRATES + ri;
+    let mut gammas: [Vec<f64>; NRATES] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut slots: [Vec<usize>; NRATES] = [Vec::new(), Vec::new(), Vec::new()];
+    for (it, &(d, interference, pin)) in items.iter().enumerate() {
+        for mode in Mode::ALL {
+            if pin.is_some_and(|p| p != mode) {
+                continue;
+            }
+            for (ri, rate) in Rate::ALL.into_iter().enumerate() {
+                if ch.power(mode, rate).is_none() {
+                    continue;
+                }
+                match mode {
+                    Mode::Active => avail[slot(it, mode, ri)] = ch.available(mode, rate, d),
+                    Mode::Passive | Mode::Backscatter => {
+                        if interference.watts() <= 0.0 {
+                            avail[slot(it, mode, ri)] = ch.available(mode, rate, d);
+                        } else {
+                            gammas[ri].push(victim_gamma(ch, mode, rate, d, interference));
+                            slots[ri].push(slot(it, mode, ri));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: one batched surface call per rate group answers every queued
+    // γ, then the BER threshold scatters back into the decision table.
+    let mut bers: Vec<f64> = Vec::new();
+    for (ri, surface) in surfaces.iter().enumerate() {
+        if gammas[ri].is_empty() {
+            continue;
+        }
+        bers.clear();
+        bers.resize(gammas[ri].len(), 0.0);
+        surface.ber_batch(&gammas[ri], &mut bers);
+        for (&s, &ber) in slots[ri].iter().zip(&bers) {
+            avail[s] = ber <= OPERATIONAL_BER;
+        }
+    }
+
+    // Pass 3: assemble each item's options in `Mode::ALL` order, taking
+    // the fastest available rate per mode — the scalar search's answer.
+    items
+        .iter()
+        .enumerate()
+        .map(|(it, &(_, _, pin))| {
+            let mut opts = OptionSet::EMPTY;
+            for mode in Mode::ALL {
+                if pin.is_some_and(|p| p != mode) {
+                    continue;
+                }
+                let best = (0..NRATES).rev().find(|&ri| avail[slot(it, mode, ri)]);
+                if let Some(ri) = best {
+                    let rate = Rate::ALL[ri];
+                    let (tx_cost, rx_cost) = ch
+                        .energy_per_bit(mode, rate)
+                        .expect("rate came from the table");
+                    opts.push(LinkOption {
+                        mode,
+                        rate,
+                        tx_cost,
+                        rx_cost,
+                    });
+                }
+            }
+            opts
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -317,6 +487,67 @@ mod tests {
             Meters::new(0.3),
             jam
         ));
+    }
+
+    #[test]
+    fn batched_options_match_scalar_bitwise() {
+        // Every (distance, interference, pin) triple resolved through the
+        // batched path must equal the scalar `options_under_pinned` answer
+        // exactly — same modes, same rates, same costs.
+        let ch = ch();
+        let mut items: Vec<(Meters, Watts, Option<Mode>)> = Vec::new();
+        for d in [0.3, 0.5, 1.0, 2.0, 3.3, 4.8] {
+            for i_dbm in [f64::NEG_INFINITY, -120.0, -90.0, -70.0, -50.0, -30.0] {
+                let i = if i_dbm.is_finite() {
+                    Watts::from_dbm(i_dbm)
+                } else {
+                    Watts::ZERO
+                };
+                for pin in [None, Some(Mode::Active), Some(Mode::Backscatter)] {
+                    items.push((Meters::new(d), i, pin));
+                }
+            }
+        }
+        let batched = options_under_batch(&ch, &items);
+        assert_eq!(batched.len(), items.len());
+        for (set, &(d, i, pin)) in batched.iter().zip(&items) {
+            let scalar = options_under_pinned(&ch, d, i, pin);
+            assert_eq!(
+                &**set, &*scalar,
+                "batch diverged at d={d}, i={i}, pin={pin:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_is_invisible_to_get() {
+        // A memo warmed by the wave prefetch must answer `get` with exactly
+        // the sets a cold memo computes — prefilling is output-neutral.
+        let ch = ch();
+        let queries: Vec<(Meters, Watts, Option<Mode>)> = vec![
+            (Meters::new(0.5), Watts::ZERO, None),
+            (Meters::new(1.5), Watts::from_dbm(-80.0), None),
+            (
+                Meters::new(2.5),
+                Watts::from_dbm(-60.0),
+                Some(Mode::Backscatter),
+            ),
+            (Meters::new(4.0), Watts::from_dbm(-95.0), Some(Mode::Active)),
+        ];
+        let mut keys: Vec<OptionsKey> = queries
+            .iter()
+            .map(|&(d, i, pin)| OptionsMemo::key_for(d, i, pin).expect("finite inputs"))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut warmed = OptionsMemo::new();
+        warmed.prefetch(&ch, &keys);
+        let mut cold = OptionsMemo::new();
+        for &(d, i, pin) in &queries {
+            let a = warmed.get(&ch, d, i, pin);
+            let b = cold.get(&ch, d, i, pin);
+            assert_eq!(&*a, &*b, "prefetch changed the answer at d={d}, i={i}");
+        }
     }
 
     #[test]

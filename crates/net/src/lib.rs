@@ -42,6 +42,8 @@
 //! ```
 
 pub mod arbitration;
+#[doc(hidden)]
+pub mod baseline;
 pub mod cache;
 pub mod engine;
 pub mod interference;

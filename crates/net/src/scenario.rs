@@ -187,6 +187,76 @@ impl FleetScenario {
         FleetScenario::new(devices, pairs, arbitration)
     }
 
+    /// A city block: `m` traffic pairs tiled as alternating *mesh* and
+    /// *star* blocks on a coarse street grid — the 10⁴-pair stress shape
+    /// mixing both canonical topologies in one interference field.
+    ///
+    /// Blocks hold [`Self::CITY_BLOCK_PAIRS`] pairs each and sit on a
+    /// `⌈√blocks⌉`-wide grid with 12 m pitch. Even blocks are a 2×2 mesh of
+    /// independent 0.5 m pairs (3 m pitch, 1 Wh each side); odd blocks are
+    /// a 4-tag star around a mains-class 99.5 Wh hub at the block centre,
+    /// tags at 0.5 m holding 1 Wh (large enough that no session dies inside
+    /// a short stress horizon — every death dirties the whole interference
+    /// field, which is a different benchmark). Construction stops at
+    /// exactly `m` pairs, so the last block may be partial.
+    pub fn city_block(m: usize, arbitration: Arbitration) -> Self {
+        const BLOCK_PITCH: f64 = 12.0;
+        const MESH_PITCH: f64 = 3.0;
+        const PAIR_SEP: f64 = 0.5;
+        let nblocks = m.div_ceil(Self::CITY_BLOCK_PAIRS);
+        let side = (nblocks as f64).sqrt().ceil() as usize;
+        let mut devices = Vec::with_capacity(2 * m + nblocks);
+        let mut pairs = Vec::with_capacity(m);
+        'blocks: for b in 0..nblocks {
+            let bx = (b % side) as f64 * BLOCK_PITCH;
+            let by = (b / side) as f64 * BLOCK_PITCH;
+            if b % 2 == 0 {
+                // Mesh block: 2×2 independent pairs.
+                for k in 0..Self::CITY_BLOCK_PAIRS {
+                    if pairs.len() == m {
+                        break 'blocks;
+                    }
+                    let px = bx + (k % 2) as f64 * MESH_PITCH;
+                    let py = by + (k / 2) as f64 * MESH_PITCH;
+                    let tx = devices.len();
+                    devices.push(DeviceSpec {
+                        pos: Point::new(px, py),
+                        battery: Joules::from_watt_hours(1.0),
+                    });
+                    devices.push(DeviceSpec {
+                        pos: Point::new(px, py + PAIR_SEP),
+                        battery: Joules::from_watt_hours(1.0),
+                    });
+                    pairs.push(PairSpec::braided(tx, tx + 1));
+                }
+            } else {
+                // Star block: hub at the block centre, tags on a ring.
+                let want = Self::CITY_BLOCK_PAIRS.min(m - pairs.len());
+                if want == 0 {
+                    break 'blocks;
+                }
+                let centre = Point::new(bx + MESH_PITCH / 2.0, by + MESH_PITCH / 2.0);
+                let hub = devices.len();
+                devices.push(DeviceSpec {
+                    pos: centre,
+                    battery: Joules::from_watt_hours(99.5),
+                });
+                for p in ring(centre, Meters::new(PAIR_SEP), want) {
+                    let tag = devices.len();
+                    devices.push(DeviceSpec {
+                        pos: p,
+                        battery: Joules::from_watt_hours(1.0),
+                    });
+                    pairs.push(PairSpec::braided(tag, hub));
+                }
+            }
+        }
+        FleetScenario::new(devices, pairs, arbitration)
+    }
+
+    /// Traffic pairs per city block (see [`Self::city_block`]).
+    pub const CITY_BLOCK_PAIRS: usize = 4;
+
     /// A star: one hub at the origin with `k` tags on a ring of radius
     /// `radius`, each tag streaming (backscatter-friendly direction) to the
     /// hub. Device 0 is the hub.
@@ -274,6 +344,27 @@ mod tests {
             let d = s.devices[p.tx].pos.distance(s.devices[0].pos);
             assert!((d.meters() - 0.5).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn city_block_mixes_meshes_and_stars_and_stops_at_m() {
+        let s = FleetScenario::city_block(10, Arbitration::Uncoordinated);
+        s.validate();
+        assert_eq!(s.pairs.len(), 10);
+        // Block 0: full mesh (4 pairs, 8 devices). Block 1: full star (hub
+        // + 4 tags). Block 2: partial mesh (2 pairs, 4 devices).
+        assert_eq!(s.devices.len(), 8 + 5 + 4);
+        // The star block's pairs all stream to its hub (device 8), which
+        // carries the big battery.
+        for p in &s.pairs[4..8] {
+            assert_eq!(p.rx, 8);
+        }
+        assert!(s.devices[8].battery.joules() > s.devices[0].battery.joules());
+        // A partial star block still places its hub before the tags.
+        let s5 = FleetScenario::city_block(5, Arbitration::Uncoordinated);
+        assert_eq!(s5.pairs.len(), 5);
+        assert_eq!(s5.devices.len(), 8 + 2);
+        assert_eq!(s5.pairs[4].rx, 8);
     }
 
     #[test]

@@ -170,6 +170,58 @@ impl BerSurface {
     pub fn ber_db(&self, snr_db: f64) -> f64 {
         self.ber(10f64.powf(snr_db / 10.0))
     }
+
+    /// Resolve a whole slice of SNR points in one call:
+    /// `out[i] = self.ber(gammas[i])`, bit-for-bit.
+    ///
+    /// In strict mode the batch takes the memo lock **twice total** instead
+    /// of once per point: one pass answers the hits and collects the
+    /// misses, the misses are solved outside the lock (evaluators are
+    /// pure, so a racing duplicate solve returns the same value), and a
+    /// second pass inserts them under the same cap-clear policy as
+    /// `exact` — so the memo table evolves exactly as if
+    /// the points had been queried one at a time, and on a warm table the
+    /// whole batch is a single lock acquisition over a cache-friendly
+    /// traversal. Interpolating mode delegates to element-wise [`ber`]
+    /// (each query probes up to three grid nodes, so there is no single
+    /// lock pass to batch); the bitwise equivalence holds there trivially.
+    ///
+    /// [`ber`]: Self::ber
+    pub fn ber_batch(&self, gammas: &[f64], out: &mut [f64]) {
+        assert_eq!(gammas.len(), out.len(), "gamma/out slice length mismatch");
+        if self.config.rel_tol > 0.0 {
+            for (o, &g) in out.iter_mut().zip(gammas) {
+                *o = self.ber(g);
+            }
+            return;
+        }
+        for &g in gammas {
+            assert!(g.is_finite() && g > 0.0, "need finite positive SNR");
+        }
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let memo = self.memo.lock().unwrap();
+            for (i, &g) in gammas.iter().enumerate() {
+                match memo.get(&g.to_bits()) {
+                    Some(&v) => out[i] = v,
+                    None => misses.push(i),
+                }
+            }
+        }
+        if misses.is_empty() {
+            return;
+        }
+        for &i in &misses {
+            out[i] = (self.eval)(gammas[i]);
+        }
+        let mut memo = self.memo.lock().unwrap();
+        for &i in &misses {
+            if memo.len() >= self.config.max_memo {
+                memo.clear();
+            }
+            memo.insert(gammas[i].to_bits(), out[i]);
+        }
+    }
 }
 
 /// The closed-form BER models a shared surface can wrap.
@@ -187,6 +239,14 @@ type Registry = RwLock<HashMap<(BerModel, u64), Arc<BerSurface>>>;
 
 static REGISTRY: OnceLock<Registry> = OnceLock::new();
 
+fn make_shared_surface(model: BerModel) -> Arc<BerSurface> {
+    let eval: Box<dyn Fn(f64) -> f64 + Send + Sync> = match model {
+        BerModel::NoncoherentOok => Box::new(crate::ber::ber_ook_noncoherent_fast),
+        BerModel::CoherentFsk => Box::new(crate::ber::ber_coherent),
+    };
+    Arc::new(BerSurface::new(eval, SurfaceConfig::strict()))
+}
+
 /// The process-wide shared strict surface for (`model`, `rate`).
 ///
 /// All callers asking about the same mode and bitrate share one memo
@@ -195,20 +255,62 @@ static REGISTRY: OnceLock<Registry> = OnceLock::new();
 /// identical to calling the underlying closed form directly. The rate is
 /// part of the key (the closed forms are rate-independent given γ, but
 /// surfaces backed by rate-dependent evaluators share the registry).
+///
+/// Concurrency: the fast path is a read lock; a cold miss upgrades to the
+/// write lock and re-checks through `entry` (double-checked upsert), so
+/// racing callers that lose the upgrade race find the winner's surface
+/// instead of clobbering it — every caller gets the *same* `Arc` for a
+/// given key, and an in-flight batch on one thread keeps its memo table.
 pub fn shared(model: BerModel, rate: BitsPerSecond) -> Arc<BerSurface> {
     let registry = REGISTRY.get_or_init(|| RwLock::new(HashMap::new()));
     let key = (model, rate.bps().to_bits());
     if let Some(s) = registry.read().unwrap().get(&key) {
         return Arc::clone(s);
     }
+    // Another thread may have inserted the key between the read unlock and
+    // the write lock: `entry` re-checks under the write lock and only
+    // builds the surface when the slot is genuinely empty.
     let mut writer = registry.write().unwrap();
-    Arc::clone(writer.entry(key).or_insert_with(|| {
-        let eval: Box<dyn Fn(f64) -> f64 + Send + Sync> = match model {
-            BerModel::NoncoherentOok => Box::new(crate::ber::ber_ook_noncoherent_fast),
-            BerModel::CoherentFsk => Box::new(crate::ber::ber_coherent),
-        };
-        Arc::new(BerSurface::new(eval, SurfaceConfig::strict()))
-    }))
+    Arc::clone(
+        writer
+            .entry(key)
+            .or_insert_with(|| make_shared_surface(model)),
+    )
+}
+
+/// Resolve several shared surfaces in one registry pass: a single read
+/// lock answers every warm key, and only when some key is cold does a
+/// single write lock fill the gaps (same double-checked `entry` upsert as
+/// [`shared`]). `out[i]` is exactly `shared(model, rates[i])` — the fleet
+/// engine's planning-wave sweep uses this so a whole wave's BER batches
+/// touch the registry lock once instead of once per (mode, rate) query.
+pub fn shared_batch(model: BerModel, rates: &[BitsPerSecond]) -> Vec<Arc<BerSurface>> {
+    let registry = REGISTRY.get_or_init(|| RwLock::new(HashMap::new()));
+    let mut out: Vec<Option<Arc<BerSurface>>> = vec![None; rates.len()];
+    {
+        let reader = registry.read().unwrap();
+        for (o, rate) in out.iter_mut().zip(rates) {
+            if let Some(s) = reader.get(&(model, rate.bps().to_bits())) {
+                *o = Some(Arc::clone(s));
+            }
+        }
+    }
+    if out.iter().any(Option::is_none) {
+        let mut writer = registry.write().unwrap();
+        for (o, rate) in out.iter_mut().zip(rates) {
+            if o.is_none() {
+                let key = (model, rate.bps().to_bits());
+                *o = Some(Arc::clone(
+                    writer
+                        .entry(key)
+                        .or_insert_with(|| make_shared_surface(model)),
+                ));
+            }
+        }
+    }
+    out.into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -315,6 +417,71 @@ mod tests {
             let _ = s.ber(1.0 + i as f64 * 0.01);
         }
         assert!(s.memoized() <= 16);
+    }
+
+    #[test]
+    fn ber_batch_matches_elementwise_bitwise_in_both_modes() {
+        let gammas: Vec<f64> = (0..96).map(|i| 10f64.powf(0.1 + 0.03 * i as f64)).collect();
+        for cfg in [SurfaceConfig::strict(), SurfaceConfig::interpolating(0.02)] {
+            // A fresh surface answered in batch, against a fresh surface
+            // answered point-by-point: cold paths must agree bitwise...
+            let batch = BerSurface::new(Box::new(ber_ook_noncoherent_fast), cfg);
+            let scalar = BerSurface::new(Box::new(ber_ook_noncoherent_fast), cfg);
+            let mut out = vec![0.0; gammas.len()];
+            batch.ber_batch(&gammas, &mut out);
+            for (i, (&o, &g)) in out.iter().zip(&gammas).enumerate() {
+                assert_eq!(o.to_bits(), scalar.ber(g).to_bits(), "cold point {i}");
+            }
+            // ...and a warm re-batch must reproduce the memoized answers.
+            let mut warm = vec![0.0; gammas.len()];
+            batch.ber_batch(&gammas, &mut warm);
+            for (i, (&w, &o)) in warm.iter().zip(&out).enumerate() {
+                assert_eq!(w.to_bits(), o.to_bits(), "warm point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ber_batch_respects_the_memo_cap() {
+        let cfg = SurfaceConfig {
+            max_memo: 16,
+            ..SurfaceConfig::strict()
+        };
+        let s = BerSurface::new(Box::new(ber_ook_noncoherent_fast), cfg);
+        let gammas: Vec<f64> = (0..200).map(|i| 1.0 + i as f64 * 0.01).collect();
+        let mut out = vec![0.0; gammas.len()];
+        s.ber_batch(&gammas, &mut out);
+        assert!(s.memoized() <= 16);
+    }
+
+    #[test]
+    fn concurrent_shared_calls_return_the_same_arc() {
+        // A key no other test touches, so every thread races the cold miss.
+        let rate = BitsPerSecond::new(31_337.0);
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(move || shared(BerModel::NoncoherentOok, rate)))
+            .collect();
+        let surfaces: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for s in &surfaces[1..] {
+            assert!(
+                Arc::ptr_eq(&surfaces[0], s),
+                "racing shared() calls built distinct surfaces"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_batch_matches_shared_per_key() {
+        let rates = [
+            BitsPerSecond::KBPS_10,
+            BitsPerSecond::KBPS_100,
+            BitsPerSecond::MBPS_1,
+            BitsPerSecond::new(47_474.0), // cold key: exercises the write pass
+        ];
+        let batch = shared_batch(BerModel::NoncoherentOok, &rates);
+        for (s, &rate) in batch.iter().zip(&rates) {
+            assert!(Arc::ptr_eq(s, &shared(BerModel::NoncoherentOok, rate)));
+        }
     }
 
     #[test]

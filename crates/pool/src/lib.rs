@@ -82,14 +82,32 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    // Index-based chunking: boundaries depend only on `n` and a fixed
+    // oversubscription factor, never on which thread runs what.
+    let threads = thread_count().min(n.max(1));
+    let chunk = n.div_ceil(threads * 4).max(1);
+    par_map_indexed_with_chunk(n, chunk, f)
+}
+
+/// [`par_map_indexed`] with an explicit chunk size.
+///
+/// The default oversubscription-derived chunking is right for large grids
+/// of uniform cells; callers mapping a handful of wildly uneven work items
+/// (the fleet runner's scenario grids, where one scenario can cost 100×
+/// another) pass `chunk = 1` so every item is its own schedulable unit.
+/// Values are identical for any `chunk` and thread count — chunking only
+/// decides scheduling granularity and wall-clock span lanes.
+pub fn par_map_indexed_with_chunk<R, F>(n: usize, chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(chunk >= 1, "chunk size must be at least 1");
     let threads = thread_count().min(n.max(1));
     if threads <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
 
-    // Index-based chunking: boundaries depend only on `n` and a fixed
-    // oversubscription factor, never on which thread runs what.
-    let chunk = n.div_ceil(threads * 4).max(1);
     let nchunks = n.div_ceil(chunk);
     let next = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, Vec<R>, telemetry::Batch)>> =
@@ -183,6 +201,20 @@ mod tests {
             assert_eq!(one.len(), many.len());
             for (a, b) in one.iter().zip(&many) {
                 assert_eq!(a.to_bits(), b.to_bits(), "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_chunk_sizes_match_serial_bitwise() {
+        let _guard = serialized();
+        let f = |i: usize| (i as f64).cbrt().cos();
+        let serial: Vec<f64> = (0..101).map(f).collect();
+        for chunk in [1, 2, 7, 101, 500] {
+            let par = with_threads(4, || par_map_indexed_with_chunk(101, chunk, f));
+            assert_eq!(serial.len(), par.len());
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "chunk {chunk}");
             }
         }
     }
