@@ -25,9 +25,18 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 const PAIRS: usize = 64;
 
-fn scale_scenario(arb: Arbitration) -> FleetScenario {
-    FleetScenario::grid_pairs(PAIRS, Meters::new(0.5), Meters::new(3.0), 1.0, 1.0, arb)
+/// The rung the thread-sweep arm runs: big enough that one bulk rebuild is
+/// tens of milliseconds of O(M²) edge work, so the fan-out's scheduling
+/// (not dispatch overhead) is what the arm measures.
+const SWEEP_PAIRS: usize = 512;
+
+fn grid(m: usize, arb: Arbitration) -> FleetScenario {
+    FleetScenario::grid_pairs(m, Meters::new(0.5), Meters::new(3.0), 1.0, 1.0, arb)
         .with_horizon(Seconds::new(30.0))
+}
+
+fn scale_scenario(arb: Arbitration) -> FleetScenario {
+    grid(PAIRS, arb)
 }
 
 /// The original interference path: every victim rebuilds its full source
@@ -202,6 +211,55 @@ fn bench_options(c: &mut Criterion) {
     });
 }
 
+fn bench_thread_sweep(c: &mut Criterion) {
+    // The intra-wave fan-out (DESIGN.md §12) at each worker count the CI
+    // smoke exercises: a fully-dirty `rebuild_all` sweep — the stage that
+    // dominates a cold planning wave — at 1/2/4/8 threads. Every arm
+    // computes identical bits (the fan-out is pure scheduling); the arm
+    // spread is the wall-clock story. On a single-core host the arms time
+    // alike; the multi-core runner is where the spread appears.
+    let sc = grid(SWEEP_PAIRS, Arbitration::Uncoordinated);
+    let mut cache = PairGainCache::new(SWEEP_PAIRS);
+    for threads in [1usize, 2, 4, 8] {
+        let name = format!("fleet_replan/interference_wave/bulk_rebuild/j{threads}/{SWEEP_PAIRS}");
+        c.bench_function(&name, |b| {
+            braidio_pool::with_threads(threads, || {
+                b.iter(|| {
+                    cache.invalidate_pair(0);
+                    cache.rebuild_all(
+                        |_| true,
+                        |q| {
+                            let qp = &sc.pairs[q];
+                            (sc.devices[qp.tx].pos, sc.devices[qp.rx].pos)
+                        },
+                        |v, q| {
+                            let victim = sc.devices[sc.pairs[v].rx].pos;
+                            let qp = &sc.pairs[q];
+                            let a = sc.devices[qp.tx].pos;
+                            let b = sc.devices[qp.rx].pos;
+                            let pos = if a.distance(victim) <= b.distance(victim) {
+                                a
+                            } else {
+                                b
+                            };
+                            carrier_contribution(
+                                &sc.ch,
+                                victim,
+                                &CarrierSource {
+                                    pos,
+                                    rf: sc.ch.carrier_rf,
+                                    relation: sc.arbitration.relation(v, q),
+                                },
+                            )
+                        },
+                    );
+                    black_box(cache.cached_sum(0))
+                })
+            })
+        });
+    }
+}
+
 fn bench_full_scenario(c: &mut Criterion) {
     // The end-to-end rung the CI smoke runs: 64 pairs, full horizon, one
     // arbitration policy per arm (TDMA exercises the finish-time window
@@ -222,6 +280,7 @@ criterion_group!(
     benches,
     bench_interference_wave,
     bench_options,
+    bench_thread_sweep,
     bench_full_scenario
 );
 criterion_main!(benches);

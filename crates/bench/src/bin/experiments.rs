@@ -137,13 +137,14 @@ fn write_or_die(path: &str, contents: &str) {
     }
 }
 
-/// Render the timing report as JSON (schema 3, stable):
+/// Render the timing report as JSON (schema 4, stable):
 ///
 /// ```json
 /// {
-///   "schema": 3,
+///   "schema": 4,
 ///   "git_sha": "<HEAD sha or \"unknown\">",
 ///   "threads": 4,
+///   "threads_source": "jobs-flag",
 ///   "experiments": [{"name": "fig1", "seconds": 0.012}, ...],
 ///   "metrics": [{"name": "fleet.bound.tdma_goodput_bps", "value": 5e5}, ...],
 ///   "histograms": [{"name": "fleet.pair_goodput_bps", "count": 12,
@@ -160,18 +161,26 @@ fn write_or_die(path: &str, contents: &str) {
 /// adds `histograms` (distribution metrics — count, p50, p95, max, mean
 /// over fixed log-spaced bins) and `counters` (telemetry event counters;
 /// populated only when tracing or profiling is on, since the counters are
-/// gated behind the same fast path as event capture).
+/// gated behind the same fast path as event capture). Schema 4 adds
+/// `threads_source` — where the worker-thread count came from
+/// (`"jobs-flag"`, `"env"`, or `"auto"`), so a perf dashboard can tell a
+/// pinned `--jobs 8` run from whatever the runner's core count happened
+/// to be.
 ///
 /// Written by hand (no serde in the workspace); experiment and metric
 /// names are lowercase identifiers, so no JSON string escaping is needed.
 fn bench_json(timings: &[(&str, f64)]) -> String {
     let total: f64 = timings.iter().map(|(_, s)| s).sum();
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 3,\n");
+    out.push_str("  \"schema\": 4,\n");
     out.push_str(&format!("  \"git_sha\": \"{}\",\n", git_sha()));
     out.push_str(&format!(
         "  \"threads\": {},\n",
         braidio::pool::thread_count()
+    ));
+    out.push_str(&format!(
+        "  \"threads_source\": \"{}\",\n",
+        braidio::pool::thread_source().label()
     ));
     out.push_str("  \"experiments\": [\n");
     for (i, (name, s)) in timings.iter().enumerate() {
@@ -391,8 +400,9 @@ fn usage() {
     eprintln!("                  other sizes)");
     eprintln!("  --timing       per-experiment wall-clock report on stderr");
     eprintln!("  --bench-json PATH");
-    eprintln!("                 write the timing report as JSON (schema 3:");
-    eprintln!("                  git sha, thread count, per-experiment seconds,");
+    eprintln!("                 write the timing report as JSON (schema 4:");
+    eprintln!("                  git sha, thread count and where it came from");
+    eprintln!("                  (jobs-flag/env/auto), per-experiment seconds,");
     eprintln!("                  recorded headline metrics, histogram metrics,");
     eprintln!("                  telemetry counters)");
     eprintln!("  --trace-events PATH");

@@ -261,9 +261,10 @@ fn report_span_latency(
     }
 }
 
-/// Linux peak resident set size (`VmHWM` of `/proc/self/status`), bytes.
-fn peak_rss_bytes() -> Option<f64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+/// Parse the `VmHWM` (peak resident set) line out of a `/proc/self/status`
+/// blob, in bytes. `None` when the line is missing or malformed.
+#[cfg(any(target_os = "linux", test))]
+fn parse_vm_hwm(status: &str) -> Option<f64> {
     let kb: f64 = status
         .lines()
         .find(|l| l.starts_with("VmHWM:"))?
@@ -274,6 +275,20 @@ fn peak_rss_bytes() -> Option<f64> {
     Some(kb * 1024.0)
 }
 
+/// Linux peak resident set size (`VmHWM` of `/proc/self/status`), bytes.
+/// Off Linux there is no procfs to sample, so the probe reports `None` and
+/// [`report_peak_rss`] simply omits the metric — the reports and stdout are
+/// identical either way, the memory trajectory just goes unrecorded.
+#[cfg(target_os = "linux")]
+fn peak_rss_bytes() -> Option<f64> {
+    parse_vm_hwm(&std::fs::read_to_string("/proc/self/status").ok()?)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn peak_rss_bytes() -> Option<f64> {
+    None
+}
+
 /// Record the process peak RSS under `metric` and note it on stderr (the
 /// large-rung memory trajectory — the figure the matrix-free interference
 /// cache is accountable to).
@@ -282,6 +297,24 @@ fn report_peak_rss(metric: &str) {
         metrics::record(metric, bytes);
         eprintln!("fleet scale: peak RSS {:.1} MiB", bytes / (1024.0 * 1024.0));
     }
+}
+
+/// Record the parallel execution configuration under `prefix`: the
+/// effective worker-thread count and the chunk size the planning wave's
+/// victim fan-out uses at this rung's pair count. Pure wall-clock
+/// attribution metadata — the simulated outputs are identical at any
+/// thread count, but a perf trajectory is meaningless without the core
+/// count it ran on.
+fn report_parallel_config(prefix: &str, pairs: usize) {
+    let threads = braidio_pool::thread_count();
+    let chunk = braidio_pool::default_chunk(pairs);
+    metrics::record(&format!("{prefix}.threads"), threads as f64);
+    metrics::record(&format!("{prefix}.wave_chunk_pairs"), chunk as f64);
+    eprintln!(
+        "fleet scale: {threads} worker thread{} ({}), wave fan-out chunk {chunk} pairs",
+        if threads == 1 { "" } else { "s" },
+        braidio_pool::thread_source().label(),
+    );
 }
 
 /// Run the large-fleet scale rung: `m` pairs on a room grid under all
@@ -326,6 +359,7 @@ pub fn run_scale(m: usize) {
         "planning waves",
     );
     report_peak_rss("fleet.scale.peak_rss_bytes");
+    report_parallel_config("fleet.scale", m);
 
     println!(
         "scale: {m} pairs on a room grid ({} m links, {} m pitch, 1 Wh each, {:.0} s horizon;",
@@ -400,6 +434,7 @@ pub fn run_city(m: usize) {
         "planning waves",
     );
     report_peak_rss("fleet.city.peak_rss_bytes");
+    report_parallel_config("fleet.city", m);
 
     println!("city: {m} pairs in alternating mesh/star blocks (12 m street pitch, 0.5 m links,",);
     println!(
@@ -670,6 +705,24 @@ mod tests {
             dead_sessions(&unc) > 0,
             "active-only sessions must burn out"
         );
+    }
+
+    #[test]
+    fn parse_vm_hwm_reads_the_peak_line() {
+        let status = "Name:\texperiments\nUmask:\t0022\nVmPeak:\t   20000 kB\n\
+                      VmHWM:\t   13532 kB\nVmRSS:\t   13532 kB\nThreads:\t9\n";
+        assert_eq!(parse_vm_hwm(status), Some(13532.0 * 1024.0));
+    }
+
+    #[test]
+    fn parse_vm_hwm_degrades_to_none() {
+        // No VmHWM line at all (the non-Linux shape), a bare key with no
+        // value, and a non-numeric value: all omit the metric rather than
+        // panicking or recording garbage.
+        assert_eq!(parse_vm_hwm(""), None);
+        assert_eq!(parse_vm_hwm("Name:\texperiments\nVmRSS:\t 12 kB\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tlots kB\n"), None);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Experiments `record` named scalar results and `observe` samples into
 //! histogram metrics while they run; the `experiments` binary folds the
-//! registry into its `--bench-json` report (schema 3), so CI and
+//! registry into its `--bench-json` report (schema 4), so CI and
 //! regression tooling can track simulation outcomes — and their
 //! *distributions* — without scraping stdout.
 //!

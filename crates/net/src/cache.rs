@@ -31,7 +31,11 @@
 //! engine's planning-wave sweep calls it once per wave so the per-pair
 //! lookups that follow are all O(1) clean hits. Because each victim's sum
 //! is computed by the identical per-victim loop the lazy path runs, the
-//! bulk path cannot move a bit.
+//! bulk path cannot move a bit. The bulk pass fans the selected victims
+//! out over the `braidio-pool` workers (each sum is an independent pure
+//! function of the wave's frozen geometry, merged back in victim index
+//! order), so a planning wave scales across cores without changing a bit
+//! — see DESIGN.md §12.
 //!
 //! **Far-field cull.** Optionally, a spatial grid drops sources whose
 //! contribution is provably below [`CULL_EPS_REL`] of the smallest detector
@@ -254,11 +258,18 @@ impl PairGainCache {
     /// contribution at victim `v`. Each victim's sum is produced by the
     /// same per-victim loop the lazy path runs, so the bulk path is
     /// bit-identical to demand-driven rebuilds.
-    pub fn rebuild_all<K, P, E>(&mut self, keep: K, endpoints: P, mut edge: E)
+    ///
+    /// The victim fan-out runs on the work pool: each selected victim's sum
+    /// is an independent pure function of the (frozen-for-the-wave)
+    /// geometry, computed by the shared per-victim loop and written back in
+    /// victim index order — so the result is identical at any thread count,
+    /// and `edge` must be `Fn + Sync` (pure geometry, which every caller
+    /// passes anyway).
+    pub fn rebuild_all<K, P, E>(&mut self, keep: K, endpoints: P, edge: E)
     where
         K: Fn(usize) -> bool,
         P: Fn(usize) -> (Point, Point),
-        E: FnMut(usize, usize) -> Watts,
+        E: Fn(usize, usize) -> Watts + Sync,
     {
         if self.ndirty == 0 {
             return;
@@ -268,13 +279,23 @@ impl PairGainCache {
                 rebuild_candidates(cull, self.n, &endpoints);
             }
         }
-        for v in 0..self.n {
-            if !self.sum_dirty[v] || !keep(v) {
-                continue;
-            }
-            telemetry::count("net.interference.sum_rebuild");
-            let acc = Self::rebuild_one(v, self.n, &self.live, &self.cull, &mut |q| edge(v, q));
-            self.sum[v] = acc.watts();
+        // Victim selection stays serial and in pair-index order; only the
+        // per-victim sums fan out.
+        let victims: Vec<usize> = (0..self.n)
+            .filter(|&v| self.sum_dirty[v] && keep(v))
+            .collect();
+        let (n, live, cull) = (self.n, &self.live, &self.cull);
+        let sums = braidio_pool::par_map_indexed_with_chunk(
+            victims.len(),
+            braidio_pool::default_chunk(victims.len()),
+            |i| {
+                let v = victims[i];
+                telemetry::count("net.interference.sum_rebuild");
+                Self::rebuild_one(v, n, live, cull, |q| edge(v, q)).watts()
+            },
+        );
+        for (&v, s) in victims.iter().zip(sums) {
+            self.sum[v] = s;
             self.sum_dirty[v] = false;
             self.ndirty -= 1;
         }
@@ -289,7 +310,7 @@ impl PairGainCache {
         n: usize,
         live: &[bool],
         cull: &Option<Cull>,
-        edge: &mut impl FnMut(usize) -> Watts,
+        mut edge: impl FnMut(usize) -> Watts,
     ) -> Watts {
         let mut acc = Watts::new(0.0);
         let mut add = |q: usize| {

@@ -46,6 +46,15 @@
 //! sweep re-dirties the caches so the per-pair path recomputes exactly what
 //! the pre-refactor engine would have.
 //!
+//! The wave's heavy stages — the per-victim interference sums and the
+//! per-pair key collection — fan out over the `braidio-pool` workers with
+//! index-chunked scheduling and in-order merges, so a single large scenario
+//! uses every core while staying byte-identical at any `--jobs` count
+//! (DESIGN.md §12). Plan *installation* stays inside the event loop: each
+//! `solve_memo` call reads the pair's live battery levels at its own event
+//! time, so hoisting it into the wave would change semantics, not just
+//! scheduling.
+//!
 //! Determinism: one pending event per (pair, kind) keeps kernel keys
 //! unique; the pair index is the kernel's entity id; all floating-point
 //! reductions iterate in pair/device index order.
@@ -61,6 +70,7 @@ use braidio_mac::mobility::MobilityTrace;
 use braidio_mac::offload::{solve_memo, OffloadPlan};
 use braidio_mac::probe::LinkProber;
 use braidio_mac::sim::switches_per_packet;
+use braidio_pool as pool;
 use braidio_radio::characterization::Rate;
 use braidio_radio::{Battery, Mode, Role};
 use braidio_rfsim::geometry::Point;
@@ -513,6 +523,7 @@ impl<'a> Fleet<'a> {
         let Pairs {
             tx,
             rx,
+            pin,
             fsm,
             mobile,
             ..
@@ -543,23 +554,30 @@ impl<'a> Fleet<'a> {
             );
         }
         self.wave_keys.clear();
-        for p in 0..tx.len() {
-            if fsm[p].is_dead() || mobile[p] {
-                continue;
-            }
-            let interference = if overlap {
-                match self.gains.cached_sum(p) {
-                    Some(w) => w,
-                    None => continue, // re-dirtied mid-sweep: per-pair path
+        // Per-pair key collection fans out over the pool: each pair's key is
+        // a pure function of the frozen wave state (positions, clean sums,
+        // pins), and the chunks reassemble in pair index order — the exact
+        // key sequence the serial loop pushed.
+        let gains = &self.gains;
+        let n = tx.len();
+        let keys = pool::par_map_indexed_with_chunk(
+            n,
+            pool::default_chunk(n),
+            |p| -> Option<OptionsKey> {
+                if fsm[p].is_dead() || mobile[p] {
+                    return None;
                 }
-            } else {
-                Watts::ZERO
-            };
-            let d = pos[tx[p]].distance(pos[rx[p]]);
-            if let Some(key) = OptionsMemo::key_for(d, interference, self.pairs.pin[p]) {
-                self.wave_keys.push(key);
-            }
-        }
+                let interference = if overlap {
+                    // Re-dirtied mid-sweep: the per-pair path covers it.
+                    gains.cached_sum(p)?
+                } else {
+                    Watts::ZERO
+                };
+                let d = pos[tx[p]].distance(pos[rx[p]]);
+                OptionsMemo::key_for(d, interference, pin[p])
+            },
+        );
+        self.wave_keys.extend(keys.into_iter().flatten());
         self.wave_keys.sort_unstable();
         self.wave_keys.dedup();
         self.options.prefetch(&self.sc.ch, &self.wave_keys);

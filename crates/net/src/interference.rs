@@ -272,6 +272,13 @@ impl OptionsMemo {
     /// sorted and deduplicated, so the memo's evolution — and therefore
     /// every value it ever returns — is a pure function of the key set, not
     /// of which pair happened to plan first.
+    ///
+    /// Parallelism: the miss set's per-key evaluation fans out inside
+    /// [`options_under_batch`] (its γ-collection pass is chunked over the
+    /// pool; the shared BER surface is filled canonically, in key order, by
+    /// the serial pass that follows), while the hit scan and the insertions
+    /// here stay serial — so the memo's contents are byte-identical at any
+    /// thread count.
     pub fn prefetch(&mut self, ch: &Characterization, keys: &[OptionsKey]) {
         let mut misses: Vec<OptionsKey> = Vec::new();
         for key in keys {
@@ -325,38 +332,67 @@ pub fn options_under_batch(
 
     // Pass 1: settle every availability decision that needs no BER solve
     // (Active, zero interference, uncharacterized (mode, rate) cells) and
-    // queue the detector-mode γ queries per rate.
+    // queue the detector-mode γ queries per rate. The pass is pure per item
+    // (table lookups and closed-form γ arithmetic, no shared state), so it
+    // fans out over item chunks on the work pool; chunks merge in index
+    // order, which makes the concatenated per-rate γ streams — and hence
+    // every downstream surface call — exactly the ones the serial loop
+    // builds.
     let nmodes = Mode::ALL.len();
-    let mut avail = vec![false; items.len() * nmodes * NRATES];
     let slot = |item: usize, mode: Mode, ri: usize| (item * nmodes + mode as usize) * NRATES + ri;
-    let mut gammas: [Vec<f64>; NRATES] = [Vec::new(), Vec::new(), Vec::new()];
-    let mut slots: [Vec<usize>; NRATES] = [Vec::new(), Vec::new(), Vec::new()];
-    for (it, &(d, interference, pin)) in items.iter().enumerate() {
-        for mode in Mode::ALL {
-            if pin.is_some_and(|p| p != mode) {
-                continue;
-            }
-            for (ri, rate) in Rate::ALL.into_iter().enumerate() {
-                if ch.power(mode, rate).is_none() {
+    let chunk = braidio_pool::default_chunk(items.len());
+    let nchunks = items.len().div_ceil(chunk);
+    type Pass1 = (Vec<bool>, [Vec<f64>; 3], [Vec<usize>; 3]);
+    let parts: Vec<Pass1> = braidio_pool::par_map_indexed_with_chunk(nchunks, 1, |c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(items.len());
+        let mut avail = vec![false; (hi - lo) * nmodes * NRATES];
+        let mut gammas: [Vec<f64>; NRATES] = [Vec::new(), Vec::new(), Vec::new()];
+        let mut slots: [Vec<usize>; NRATES] = [Vec::new(), Vec::new(), Vec::new()];
+        for (it, &(d, interference, pin)) in items[lo..hi].iter().enumerate() {
+            for mode in Mode::ALL {
+                if pin.is_some_and(|p| p != mode) {
                     continue;
                 }
-                match mode {
-                    Mode::Active => avail[slot(it, mode, ri)] = ch.available(mode, rate, d),
-                    Mode::Passive | Mode::Backscatter => {
-                        if interference.watts() <= 0.0 {
-                            avail[slot(it, mode, ri)] = ch.available(mode, rate, d);
-                        } else {
-                            gammas[ri].push(victim_gamma(ch, mode, rate, d, interference));
-                            slots[ri].push(slot(it, mode, ri));
+                for (ri, rate) in Rate::ALL.into_iter().enumerate() {
+                    if ch.power(mode, rate).is_none() {
+                        continue;
+                    }
+                    match mode {
+                        Mode::Active => avail[slot(it, mode, ri)] = ch.available(mode, rate, d),
+                        Mode::Passive | Mode::Backscatter => {
+                            if interference.watts() <= 0.0 {
+                                avail[slot(it, mode, ri)] = ch.available(mode, rate, d);
+                            } else {
+                                gammas[ri].push(victim_gamma(ch, mode, rate, d, interference));
+                                // Global decision-table slot for the scatter
+                                // after the merge.
+                                slots[ri].push(slot(lo + it, mode, ri));
+                            }
                         }
                     }
                 }
             }
         }
+        (avail, gammas, slots)
+    });
+    let mut avail = Vec::with_capacity(items.len() * nmodes * NRATES);
+    let mut gammas: [Vec<f64>; NRATES] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut slots: [Vec<usize>; NRATES] = [Vec::new(), Vec::new(), Vec::new()];
+    for (part_avail, part_gammas, part_slots) in parts {
+        avail.extend(part_avail);
+        for (ri, (g, s)) in part_gammas.into_iter().zip(part_slots).enumerate() {
+            gammas[ri].extend(g);
+            slots[ri].extend(s);
+        }
     }
 
     // Pass 2: one batched surface call per rate group answers every queued
-    // γ, then the BER threshold scatters back into the decision table.
+    // γ, then the BER threshold scatters back into the decision table. This
+    // pass stays on the calling thread: it is the only stage that mutates
+    // shared state (the process-wide surface memos), and running it serially
+    // over the in-order γ streams keeps that state's evolution canonical —
+    // the pool workers upstream never touch a surface.
     let mut bers: Vec<f64> = Vec::new();
     for (ri, surface) in surfaces.iter().enumerate() {
         if gammas[ri].is_empty() {

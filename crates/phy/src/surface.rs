@@ -177,7 +177,9 @@ impl BerSurface {
     /// In strict mode the batch takes the memo lock **twice total** instead
     /// of once per point: one pass answers the hits and collects the
     /// misses, the misses are solved outside the lock (evaluators are
-    /// pure, so a racing duplicate solve returns the same value), and a
+    /// pure, so a racing duplicate solve returns the same value — large
+    /// miss sets fan the solves out over the `braidio-pool` workers and
+    /// merge in miss order), and a
     /// second pass inserts them under the same cap-clear policy as
     /// `exact` — so the memo table evolves exactly as if
     /// the points had been queried one at a time, and on a warm table the
@@ -211,8 +213,21 @@ impl BerSurface {
         if misses.is_empty() {
             return;
         }
-        for &i in &misses {
-            out[i] = (self.eval)(gammas[i]);
+        // Misses solve outside the lock; the evaluator is pure, so the
+        // solves are independent and can fan out over the work pool, merged
+        // back in miss order — values and memo evolution are identical at
+        // any thread count. Tiny miss sets stay on the calling thread,
+        // where spawning workers would dwarf the solves.
+        const PAR_MISS_MIN: usize = 32;
+        if misses.len() >= PAR_MISS_MIN {
+            let vals = braidio_pool::par_map(&misses, |&i| (self.eval)(gammas[i]));
+            for (&i, v) in misses.iter().zip(vals) {
+                out[i] = v;
+            }
+        } else {
+            for &i in &misses {
+                out[i] = (self.eval)(gammas[i]);
+            }
         }
         let mut memo = self.memo.lock().unwrap();
         for &i in &misses {

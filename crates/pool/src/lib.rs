@@ -45,16 +45,65 @@ pub fn thread_count() -> usize {
     if forced > 0 {
         return forced;
     }
-    if let Ok(v) = std::env::var("BRAIDIO_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+    if env_threads().is_some() {
+        return env_threads().unwrap();
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// `BRAIDIO_THREADS`, if set to a usable value.
+fn env_threads() -> Option<usize> {
+    std::env::var("BRAIDIO_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// Which rule of the thread-count resolution chain decided
+/// [`thread_count`], so benchmark reports can attribute a wall-clock
+/// number to how its core count was chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadSource {
+    /// [`set_threads`] — the `experiments --jobs N` flag.
+    Flag,
+    /// The `BRAIDIO_THREADS` environment variable.
+    Env,
+    /// [`std::thread::available_parallelism`] auto-detection.
+    Auto,
+}
+
+impl ThreadSource {
+    /// Stable lowercase label for machine-readable reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ThreadSource::Flag => "jobs-flag",
+            ThreadSource::Env => "env",
+            ThreadSource::Auto => "auto",
+        }
+    }
+}
+
+/// Where the current [`thread_count`] comes from (same resolution order).
+pub fn thread_source() -> ThreadSource {
+    if THREAD_OVERRIDE.load(Ordering::SeqCst) > 0 {
+        ThreadSource::Flag
+    } else if env_threads().is_some() {
+        ThreadSource::Env
+    } else {
+        ThreadSource::Auto
+    }
+}
+
+/// The chunk size [`par_map_indexed`] uses for an `n`-item map: index-based
+/// boundaries from a fixed 4× oversubscription of the current thread count.
+/// Public so intra-wave fan-outs (the fleet engine's planning wave) and the
+/// benchmark metadata report the exact scheduling granularity in use —
+/// chunking only affects scheduling, never values.
+pub fn default_chunk(n: usize) -> usize {
+    let threads = thread_count().min(n.max(1));
+    n.div_ceil(threads * 4).max(1)
 }
 
 /// Run `set_threads(n)`, evaluate `f`, then restore the previous override.
@@ -84,9 +133,7 @@ where
 {
     // Index-based chunking: boundaries depend only on `n` and a fixed
     // oversubscription factor, never on which thread runs what.
-    let threads = thread_count().min(n.max(1));
-    let chunk = n.div_ceil(threads * 4).max(1);
-    par_map_indexed_with_chunk(n, chunk, f)
+    par_map_indexed_with_chunk(n, default_chunk(n), f)
 }
 
 /// [`par_map_indexed`] with an explicit chunk size.
@@ -238,8 +285,24 @@ mod tests {
         let _guard = serialized();
         set_threads(3);
         assert_eq!(thread_count(), 3);
+        assert_eq!(thread_source(), ThreadSource::Flag);
         set_threads(0);
         assert!(thread_count() >= 1);
+        assert_ne!(thread_source(), ThreadSource::Flag);
+    }
+
+    #[test]
+    fn default_chunk_tracks_thread_count() {
+        let _guard = serialized();
+        with_threads(4, || {
+            // 4 threads × 4-way oversubscription → 16 chunks.
+            assert_eq!(default_chunk(1600), 100);
+            assert_eq!(default_chunk(16), 1);
+            // Degenerate sizes never produce a zero chunk.
+            assert_eq!(default_chunk(0), 1);
+            assert_eq!(default_chunk(1), 1);
+        });
+        with_threads(1, || assert_eq!(default_chunk(1600), 400));
     }
 
     #[test]
