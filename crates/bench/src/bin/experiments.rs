@@ -9,6 +9,7 @@
 //! experiments all --bench-json t.json# machine-readable timing report
 //! experiments fleet --scale 64       # large-fleet rung: 64 pairs x 3 policies
 //! experiments fleet --city-block     # 10k-pair mixed mesh/star stress rung
+//! experiments fleet --churn          # 1000-device open system with churn
 //! experiments fleet --trace-events fleet.jsonl   # simulated-time event trace
 //! experiments fleet --trace-chrome fleet.trace   # Perfetto-loadable trace
 //! experiments fleet --profile prof.trace         # wall-clock span profile
@@ -45,6 +46,8 @@ struct Cli {
     scale: Option<usize>,
     /// Run `fleet` as the city-block stress topology (`--city-block`).
     city_block: bool,
+    /// Run `fleet` as the open-system churn rung (`--churn`).
+    churn: bool,
 }
 
 fn main() {
@@ -66,6 +69,7 @@ fn main() {
         braidio_bench::fleet::set_scale(n);
     }
     braidio_bench::fleet::set_city(cli.city_block);
+    braidio_bench::fleet::set_churn(cli.churn);
     if cli.trace_events.is_some() || cli.trace_chrome.is_some() {
         telemetry::set_enabled(true);
     }
@@ -137,11 +141,11 @@ fn write_or_die(path: &str, contents: &str) {
     }
 }
 
-/// Render the timing report as JSON (schema 4, stable):
+/// Render the timing report as JSON (schema 5, stable):
 ///
 /// ```json
 /// {
-///   "schema": 4,
+///   "schema": 5,
 ///   "git_sha": "<HEAD sha or \"unknown\">",
 ///   "threads": 4,
 ///   "threads_source": "jobs-flag",
@@ -165,14 +169,20 @@ fn write_or_die(path: &str, contents: &str) {
 /// `threads_source` — where the worker-thread count came from
 /// (`"jobs-flag"`, `"env"`, or `"auto"`), so a perf dashboard can tell a
 /// pinned `--jobs 8` run from whatever the runner's core count happened
-/// to be.
+/// to be. Schema 5 marks the open-system churn additions: `fleet --churn`
+/// populates per-policy admission-latency histograms
+/// (`fleet.churn.*.admission_latency_s`), per-phase occupancy scalars
+/// (`fleet.churn.*.occupancy_s.<phase>`) and session counters
+/// (`fleet.churn.*.sessions_{admitted,departed,died}`, `.roams`) through
+/// the existing `metrics`/`histograms` arrays — the report shape and every
+/// pre-existing fleet metric are unchanged.
 ///
 /// Written by hand (no serde in the workspace); experiment and metric
 /// names are lowercase identifiers, so no JSON string escaping is needed.
 fn bench_json(timings: &[(&str, f64)]) -> String {
     let total: f64 = timings.iter().map(|(_, s)| s).sum();
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 4,\n");
+    out.push_str("  \"schema\": 5,\n");
     out.push_str(&format!("  \"git_sha\": \"{}\",\n", git_sha()));
     out.push_str(&format!(
         "  \"threads\": {},\n",
@@ -268,6 +278,7 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
     let mut jobs: Option<usize> = None;
     let mut scale: Option<usize> = None;
     let mut city_block = false;
+    let mut churn = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -316,6 +327,7 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
                 scale = Some(n);
             }
             "--city-block" => city_block = true,
+            "--churn" => churn = true,
             name if name.starts_with('-') => return Err(format!("unknown flag '{name}'")),
             name => match lookup(name) {
                 Some((id, _)) => names.push(id),
@@ -350,11 +362,14 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
             .map(|n| lookup(n).expect("validated"))
             .collect()
     };
-    if (scale.is_some() || city_block) && !runs.iter().any(|(id, _)| *id == "fleet") {
+    if (scale.is_some() || city_block || churn) && !runs.iter().any(|(id, _)| *id == "fleet") {
         return Err(
-            "--scale/--city-block only affect the 'fleet' experiment — add it to the selection"
+            "--scale/--city-block/--churn only affect the 'fleet' experiment — add it to the selection"
                 .into(),
         );
+    }
+    if city_block && churn {
+        return Err("--city-block and --churn are different fleet topologies — pick one".into());
     }
     Ok(Some(Cli {
         runs,
@@ -366,6 +381,7 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
         jobs,
         scale,
         city_block,
+        churn,
     }))
 }
 
@@ -398,13 +414,20 @@ fn usage() {
     eprintln!("                 alternating mesh and star blocks on a street grid");
     eprintln!("                  (default 10000 pairs; combine with --scale N for");
     eprintln!("                  other sizes)");
+    eprintln!("  --churn        run 'fleet' as the open-system churn rung: beacon");
+    eprintln!("                 hubs admitting a seeded stream of tag sessions that");
+    eprintln!("                  arrive, roam, depart and die (default ~1000 devices;");
+    eprintln!("                  combine with --scale N for other device counts;");
+    eprintln!("                  results are identical at any thread count)");
     eprintln!("  --timing       per-experiment wall-clock report on stderr");
     eprintln!("  --bench-json PATH");
-    eprintln!("                 write the timing report as JSON (schema 4:");
+    eprintln!("                 write the timing report as JSON (schema 5:");
     eprintln!("                  git sha, thread count and where it came from");
     eprintln!("                  (jobs-flag/env/auto), per-experiment seconds,");
-    eprintln!("                  recorded headline metrics, histogram metrics,");
-    eprintln!("                  telemetry counters)");
+    eprintln!("                  recorded headline metrics, histogram metrics —");
+    eprintln!("                  including the --churn admission-latency, phase-");
+    eprintln!("                  occupancy and session counters — and telemetry");
+    eprintln!("                  counters)");
     eprintln!("  --trace-events PATH");
     eprintln!("                 capture the simulated-time event trace and write");
     eprintln!("                  it as schema-versioned JSONL (byte-identical at");

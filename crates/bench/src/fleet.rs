@@ -33,12 +33,32 @@ pub const SCALE_LADDER: [usize; 4] = [256, 1024, 4096, 10000];
 /// (`experiments fleet --city-block`).
 pub const CITY_DEFAULT_PAIRS: usize = 10_000;
 
+/// Default device count (hubs plus expected sessions) for the open-system
+/// churn rung (`experiments fleet --churn`).
+pub const CHURN_DEFAULT_DEVICES: usize = 1000;
+
+/// Mains-class beacon hubs in the churn rung's grid.
+const CHURN_HUBS: usize = 16;
+
+/// Horizon of the churn rung: ten mean dwells (`open_system` sets
+/// `mean_dwell = horizon / 6`), so the system reaches steady state and the
+/// trailing `horizon / 3` report window sees a settled mix of arrivals,
+/// roams, departures and deaths.
+const CHURN_HORIZON: Seconds = Seconds::new(60.0);
+
+/// Seed of the tracked churn rung's arrival stream. Fixed, so the rung is
+/// one reproducible scenario rather than a fresh draw per run.
+const CHURN_SEED: u64 = 7;
+
 /// Requested `--scale` rung; 0 means the default grid.
 static SCALE: AtomicUsize = AtomicUsize::new(0);
 
 /// `--city-block`: run the mixed mesh/star city topology instead of the
 /// uniform room grid.
 static CITY: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// `--churn`: run the open-system churn rung instead of the closed grids.
+static CHURN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 /// Select the large-fleet scale family for subsequent [`run`] calls
 /// (`experiments fleet --scale N`). `0` restores the default grid.
@@ -50,6 +70,12 @@ pub fn set_scale(pairs: usize) {
 /// (`experiments fleet --city-block [--scale N]`).
 pub fn set_city(on: bool) {
     CITY.store(on, Ordering::Relaxed);
+}
+
+/// Select the open-system churn rung for subsequent [`run`] calls
+/// (`experiments fleet --churn [--scale N]`).
+pub fn set_churn(on: bool) {
+    CHURN.store(on, Ordering::Relaxed);
 }
 
 fn policies() -> [Arbitration; 3] {
@@ -145,6 +171,30 @@ pub fn city_scenarios(m: usize) -> Vec<(&'static str, FleetScenario)> {
             FleetScenario::city_block(m, arb)
                 .with_horizon(CITY_HORIZON)
                 .with_far_field_cull(),
+        )
+    })
+    .collect()
+}
+
+/// The open-system churn grid at roughly `devices` devices: a fixed hub
+/// grid beaconing for `devices - hubs` expected tag sessions, under the
+/// two poles of the arbitration story. The arrival stream is drawn once
+/// at construction from a fixed seed (the arrival-stream determinism
+/// rule, DESIGN.md §13), so both policies replay the *same* population.
+/// Public so the determinism suite can re-run the exact grid at
+/// different thread counts.
+pub fn churn_scenarios(devices: usize) -> Vec<(&'static str, FleetScenario)> {
+    let hubs = CHURN_HUBS.min(devices.saturating_sub(1)).max(1);
+    let sessions = devices.saturating_sub(hubs).max(1);
+    [
+        Arbitration::TdmaRoundRobin { slot: SLOT },
+        Arbitration::Uncoordinated,
+    ]
+    .into_iter()
+    .map(|arb| {
+        (
+            "churn",
+            FleetScenario::open_system(hubs, sessions, CHURN_HORIZON, CHURN_SEED, arb),
         )
     })
     .collect()
@@ -474,9 +524,140 @@ pub fn run_city(m: usize) {
     println!("   fleets need arbitration with spatial reuse, not a global token.");
 }
 
+/// Run the open-system churn rung: a beacon-hub grid admitting, serving
+/// and shedding roughly `devices` devices' worth of tag sessions, TDMA vs
+/// uncoordinated. Stdout carries only simulated steady-state quantities
+/// (byte-identical at any `--jobs` count); admission-latency histograms,
+/// per-phase occupancy and session counters go to the metric registry
+/// (`--bench-json` schema 5), wall-clock notes to stderr.
+pub fn run_churn(devices: usize) {
+    use braidio_net::LinkPhase;
+    banner(
+        "Fleet churn",
+        "Open system: discovery, session lifecycle, and churn at fleet scale",
+    );
+    let grid = churn_scenarios(devices);
+    let hubs = CHURN_HUBS.min(devices.saturating_sub(1)).max(1);
+    let sessions = devices.saturating_sub(hubs).max(1);
+    eprintln!(
+        "fleet churn: {} expected sessions over {hubs} hubs -> {} devices, {} pair rows",
+        sessions,
+        grid[0].1.devices.len(),
+        grid[0].1.pairs.len(),
+    );
+    let prev_profiling = braidio_telemetry::profiling();
+    braidio_telemetry::set_profiling(true);
+    let spans_before = braidio_telemetry::spans_snapshot().len();
+    let reports = run_grid(&grid);
+    let spans = braidio_telemetry::spans_snapshot();
+    braidio_telemetry::set_profiling(prev_profiling);
+    report_span_latency(
+        &spans[spans_before..],
+        "net.wave",
+        "fleet.churn.wave_latency_s",
+        "planning waves",
+    );
+    report_peak_rss("fleet.churn.peak_rss_bytes");
+    report_parallel_config("fleet.churn", grid[0].1.pairs.len());
+
+    let window = grid[0]
+        .1
+        .churn
+        .as_ref()
+        .expect("churn_scenarios builds open systems")
+        .window;
+    println!(
+        "churn: {} session arrivals expected over {hubs} beacon hubs (8 m grid, {:.0} s",
+        sessions,
+        CHURN_HORIZON.seconds()
+    );
+    println!(
+        "       horizon; steady state = trailing {:.0} s window; goodput in bit/s):",
+        window.seconds()
+    );
+    println!(
+        "{:>14} {:>9} {:>6} {:>9} {:>5} {:>11} {:>6} {:>6} {:>11} {:>7}",
+        "policy",
+        "admitted",
+        "roams",
+        "departed",
+        "died",
+        "adm-lat ms",
+        "live%",
+        "cool%",
+        "w-goodput",
+        "w-fair"
+    );
+    for ((_, sc), r) in grid.iter().zip(&reports) {
+        let arb = sc.arbitration;
+        let c = r.churn.as_ref().expect("open runs carry churn metrics");
+        let half_life = c.session_half_life.map(|s| s.seconds());
+        println!(
+            "{:>14} {:>9} {:>6} {:>9} {:>5} {:>11.1} {:>5.0}% {:>5.1}% {:>11.0} {:>7.3}",
+            arb.label(),
+            c.admitted,
+            c.roams,
+            c.departed,
+            c.died,
+            1e3 * c.mean_admission_latency(),
+            100.0 * c.phase_share(LinkPhase::Live),
+            100.0 * c.phase_share(LinkPhase::Cooldown),
+            c.window_goodput(),
+            c.window_fairness(),
+        );
+        let key = arb.label().replace('-', "_");
+        for lat in &c.admission_latency {
+            metrics::observe(
+                &format!("fleet.churn.{key}.admission_latency_s"),
+                lat.seconds(),
+            );
+        }
+        metrics::record(
+            &format!("fleet.churn.{key}.sessions_admitted"),
+            c.admitted as f64,
+        );
+        metrics::record(
+            &format!("fleet.churn.{key}.sessions_departed"),
+            c.departed as f64,
+        );
+        metrics::record(&format!("fleet.churn.{key}.sessions_died"), c.died as f64);
+        metrics::record(&format!("fleet.churn.{key}.roams"), c.roams as f64);
+        for phase in LinkPhase::ALL {
+            metrics::record(
+                &format!("fleet.churn.{key}.occupancy_s.{}", phase.as_str()),
+                c.phase_time[phase.index()],
+            );
+        }
+        if let Some(hl) = half_life {
+            metrics::record(&format!("fleet.churn.{key}.session_half_life_s"), hl);
+        }
+        metrics::record(
+            &format!("fleet.churn.{key}.window_goodput_bps"),
+            c.window_goodput(),
+        );
+        metrics::record(
+            &format!("fleet.churn.{key}.window_fairness"),
+            c.window_fairness(),
+        );
+    }
+    println!("\n=> churn separates discovery from delivery: both policies admit the same");
+    println!("   seeded session stream within a beacon interval, but a fleet-deep global");
+    println!("   TDMA token rotates slower than the sessions dwell — nobody reaches Live");
+    println!("   — while the uncoordinated room braids active-only: real goodput with");
+    println!("   collapsed fairness, and the frail tags walk the energy ladder (degrade,");
+    println!("   cooldown, death) instead of departing cleanly.");
+}
+
 /// Run the fleet experiment.
 pub fn run() {
     let scale = SCALE.load(Ordering::Relaxed);
+    if CHURN.load(Ordering::Relaxed) {
+        return run_churn(if scale != 0 {
+            scale
+        } else {
+            CHURN_DEFAULT_DEVICES
+        });
+    }
     if CITY.load(Ordering::Relaxed) {
         return run_city(if scale != 0 {
             scale

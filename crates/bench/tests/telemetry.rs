@@ -140,3 +140,106 @@ fn validator_rejects_malformed_traces() {
     assert_eq!(summary.events, 2);
     assert_eq!(summary.tracks, 1);
 }
+
+#[test]
+fn validator_enforces_lifecycle_rules() {
+    const HDR: &str =
+        "{\"schema\":1,\"stream\":\"braidio-telemetry\",\"time\":\"simulated-seconds\"}\n";
+    let line = |t: u32, ev: &str, extra: &str| {
+        format!("{{\"run\":0,\"unit\":1,\"track\":\"p0\",\"t\":{t},\"ev\":\"{ev}\"{extra}}}\n")
+    };
+    let hop = |t: u32, from: &str, to: &str| {
+        line(
+            t,
+            "phase_change",
+            &format!(",\"from\":\"{from}\",\"to\":\"{to}\""),
+        )
+    };
+
+    // A full open-system session is accepted: admission, the ride up the
+    // phase ladder, deliveries while live and degraded, and death.
+    let good = format!(
+        "{HDR}{}{}{}{}{}{}{}{}",
+        line(0, "admitted", ",\"latency\":0.253"),
+        hop(0, "init", "probe"),
+        hop(1, "probe", "warm"),
+        hop(2, "warm", "live"),
+        line(3, "quantum_delivered", ""),
+        hop(4, "live", "degrade"),
+        line(5, "quantum_delivered", ""),
+        hop(6, "degrade", "dead"),
+    );
+    let summary = sink::validate_jsonl(&good).expect("valid lifecycle trace");
+    assert_eq!(summary.events, 8);
+
+    // A hop outside the lifecycle table is rejected (init never jumps
+    // straight to live).
+    let illegal = format!("{HDR}{}", hop(0, "init", "live"));
+    assert!(sink::validate_jsonl(&illegal)
+        .unwrap_err()
+        .contains("illegal phase transition"));
+
+    // A legal hop whose `from` disagrees with the track's running phase is
+    // rejected — chains must be monotone per track, starting at init.
+    let broken = format!("{HDR}{}", hop(0, "probe", "warm"));
+    assert!(sink::validate_jsonl(&broken)
+        .unwrap_err()
+        .contains("phase chain broken"));
+
+    // Once a track declares phases, deliveries are only legal in live or
+    // degrade — a quantum in probe means the engine leaked a stale event.
+    let early = format!(
+        "{HDR}{}{}",
+        hop(0, "init", "probe"),
+        line(1, "quantum_delivered", "")
+    );
+    assert!(sink::validate_jsonl(&early)
+        .unwrap_err()
+        .contains("quantum_delivered in phase"));
+
+    // Closed-scenario tracks never declare a phase, and their deliveries
+    // stay ungated — the legacy trace shape is still accepted verbatim.
+    let closed = format!("{HDR}{}", line(0, "quantum_delivered", ""));
+    assert!(sink::validate_jsonl(&closed).is_ok());
+
+    // Admission must carry a finite, non-negative latency.
+    let negative = format!("{HDR}{}", line(0, "admitted", ",\"latency\":-0.1"));
+    assert!(sink::validate_jsonl(&negative)
+        .unwrap_err()
+        .contains("latency"));
+    let missing = format!("{HDR}{}", line(0, "admitted", ""));
+    assert!(sink::validate_jsonl(&missing)
+        .unwrap_err()
+        .contains("latency"));
+}
+
+#[test]
+fn churn_trace_byte_identical_at_1_and_4_threads() {
+    // The open-system gate: a small churn grid traced at 1 and 4 threads
+    // renders the same JSONL byte-for-byte, and the trace — which now
+    // carries admissions and phase_change chains — passes the validator's
+    // lifecycle rules.
+    let _guard = FLAGS.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::set_run_base(0);
+    let traced = |threads: usize| {
+        telemetry::take_events();
+        telemetry::set_enabled(true);
+        let grid = fleet::churn_scenarios(40);
+        pool::with_threads(threads, || fleet::run_grid(&grid));
+        telemetry::set_enabled(false);
+        sink::render_jsonl(&telemetry::take_events())
+    };
+    let serial = traced(1);
+    let par = traced(4);
+    assert!(serial == par, "churn trace differs between 1 and 4 threads");
+    let summary = sink::validate_jsonl(&serial).expect("valid churn trace");
+    assert!(
+        summary.events > 100,
+        "suspiciously small: {}",
+        summary.events
+    );
+    assert!(
+        serial.contains("\"ev\":\"admitted\"") && serial.contains("\"ev\":\"phase_change\""),
+        "churn trace carries no lifecycle events"
+    );
+}

@@ -110,10 +110,13 @@ impl OffloadFsm {
             (S::Braiding, E::RecomputeDue) => (S::Probing, A::SendProbes),
             (S::Fallback, E::RecomputeDue) => (S::Probing, A::SendProbes),
             (S::Fallback, E::PacketDelivered) => (S::Fallback, A::None),
-            // Battery death ends the session from any live state.
-            (S::ExchangingStatus | S::Probing | S::Braiding | S::Fallback, E::BatteryDead) => {
-                (S::Dead, A::Shutdown)
-            }
+            // Battery death ends the session from any non-dead state —
+            // including Init: an open-system tag can brown out while still
+            // waiting, undiscovered, on its wake-up detector.
+            (
+                S::Init | S::ExchangingStatus | S::Probing | S::Braiding | S::Fallback,
+                E::BatteryDead,
+            ) => (S::Dead, A::Shutdown),
             (state, event) => {
                 debug_assert!(state == self.state);
                 return Err(event);
@@ -208,6 +211,15 @@ mod tests {
         let mut f = bring_up();
         assert_eq!(f.on(Event::Associated), Err(Event::Associated));
         assert_eq!(f.state(), State::Braiding);
+    }
+
+    #[test]
+    fn battery_death_ends_init_too() {
+        // An undiscovered open-system tag can brown out before it ever
+        // associates; Init must accept the death rather than reject it.
+        let mut f = OffloadFsm::new();
+        assert_eq!(f.on(Event::BatteryDead).unwrap(), Action::Shutdown);
+        assert!(f.is_dead());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use braidio_units::{Seconds, Watts};
 
 /// A duty-cycled active listener (low-power listening).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DutyCycledListener {
     /// Receiver power while listening.
     pub on_power: Watts,
@@ -58,7 +58,7 @@ impl DutyCycledListener {
 }
 
 /// The always-on passive (envelope-detector) wake-up receiver.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PassiveWakeup {
     /// Continuous draw of the detector chain (amp + comparator + switch)
     /// plus the MCU asleep waiting on a pin-change interrupt.

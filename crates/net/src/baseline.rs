@@ -274,6 +274,11 @@ where
 /// oracle of the `soa-vs-baseline` gate).
 pub fn run_fleet_baseline(scenario: &FleetScenario) -> FleetReport {
     scenario.validate();
+    assert!(
+        scenario.churn.is_none(),
+        "the frozen baseline engine predates the lifecycle subsystem; \
+         open-system scenarios have no oracle here"
+    );
     let mut sim = Fleet::new(scenario);
     sim.run()
 }
@@ -376,6 +381,7 @@ impl<'a> Fleet<'a> {
             device_spent: self.devices.iter().map(|d| d.spent).collect(),
             device_dead_at: self.devices.iter().map(|d| d.dead_at).collect(),
             device_carrier_time: self.devices.iter().map(|d| d.carrier_time).collect(),
+            churn: None,
         }
     }
 

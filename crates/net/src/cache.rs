@@ -128,8 +128,15 @@ struct Cull {
 ///
 /// * [`mark_dead`](Self::mark_dead) — a pair's session died: it leaves
 ///   every victim's sum (dead pairs never come back).
+/// * [`set_live`](Self::set_live) — open-system row activation/retirement:
+///   an admitted session joins the sums, a quiesced (Cooldown) one leaves
+///   them, and either flip may later be reversed. Unlike `mark_dead` this
+///   is two-way; like it, any flip dirties every sum.
 /// * [`invalidate_pair`](Self::invalidate_pair) — a pair's geometry or
 ///   channel relation changed: every sum that might include it is dirty.
+///
+/// The cull's candidate lists are pure geometry — liveness is filtered at
+/// sum time — so neither death nor a liveness flip stales them.
 #[derive(Debug)]
 pub struct PairGainCache {
     n: usize,
@@ -184,6 +191,20 @@ impl PairGainCache {
             return;
         }
         self.live[q] = false;
+        for d in self.sum_dirty.iter_mut() {
+            *d = true;
+        }
+        self.ndirty = self.n;
+    }
+
+    /// Open-system row activation/retirement: make pair `q` contribute to
+    /// (or leave) every victim's sum. A no-op when the liveness bit already
+    /// matches — so closed scenarios, which never flip, pay nothing.
+    pub fn set_live(&mut self, q: usize, live: bool) {
+        if self.live[q] == live {
+            return;
+        }
+        self.live[q] = live;
         for d in self.sum_dirty.iter_mut() {
             *d = true;
         }
@@ -504,6 +525,39 @@ mod tests {
                 brute(&eps, &live, v).watts().to_bits()
             );
         }
+    }
+
+    #[test]
+    fn set_live_is_a_reversible_mark_dead() {
+        let eps = layout(5, 2.0);
+        let mut live = vec![true; 5];
+        let mut cache = PairGainCache::new(5);
+        // Rows 1 and 3 start retired (open-system pairs before admission).
+        for q in [1, 3] {
+            live[q] = false;
+            cache.set_live(q, false);
+        }
+        for v in 0..5 {
+            let got = cache.interference(v, |q| eps[q], edge_fn(&eps, v));
+            assert_eq!(
+                got.watts().to_bits(),
+                brute(&eps, &live, v).watts().to_bits()
+            );
+        }
+        // Admission re-activates row 3; sums must match brute force again.
+        live[3] = true;
+        cache.set_live(3, true);
+        assert!(cache.any_dirty());
+        for v in 0..5 {
+            let got = cache.interference(v, |q| eps[q], edge_fn(&eps, v));
+            assert_eq!(
+                got.watts().to_bits(),
+                brute(&eps, &live, v).watts().to_bits()
+            );
+        }
+        // Matching flip is a no-op: nothing re-dirtied.
+        cache.set_live(3, true);
+        assert!(!cache.any_dirty());
     }
 
     #[test]

@@ -15,10 +15,16 @@
 //!   large-fleet fast path; bit-identical to the brute-force rescan).
 //! * [`arbitration`] — who may put a carrier up, when (uncoordinated,
 //!   round-robin TDMA, static channel plans).
-//! * [`scenario`] — device placement, batteries, traffic pairs.
+//! * [`scenario`] — device placement, batteries, traffic pairs, and the
+//!   open-system churn roster ([`FleetScenario::open_system`]).
+//! * [`lifecycle`] — the per-link session phase machine
+//!   (Init → Probe → Warm → Live ⇄ Degrade → Cooldown → Probe | Dead).
+//! * [`discovery`] — beacon/passive-listen admission priced by
+//!   `mac::wakeup`'s detector economics.
 //! * [`engine`] — the event-driven fleet simulator ([`run_fleet`]).
 //! * [`metrics`] — goodput, per-device lifetime, carrier duty, Jain
-//!   fairness ([`FleetReport`]).
+//!   fairness ([`FleetReport`]), steady-state churn metrics
+//!   ([`metrics::ChurnReport`]).
 //!
 //! ```
 //! use braidio_net::{run_fleet, Arbitration, FleetScenario};
@@ -45,14 +51,18 @@ pub mod arbitration;
 #[doc(hidden)]
 pub mod baseline;
 pub mod cache;
+pub mod discovery;
 pub mod engine;
 pub mod interference;
 pub mod kernel;
+pub mod lifecycle;
 pub mod metrics;
 pub mod scenario;
 
 pub use arbitration::Arbitration;
+pub use discovery::DiscoveryConfig;
 pub use engine::run_fleet;
 pub use kernel::{DeviceId, EventQueue};
-pub use metrics::{jain_fairness, FleetReport};
-pub use scenario::{DeviceSpec, FleetScenario, PairSpec};
+pub use lifecycle::{LifecyclePolicy, LinkPhase, PhaseEvent};
+pub use metrics::{jain_fairness, ChurnReport, FleetReport};
+pub use scenario::{ChurnConfig, DeviceSpec, FleetScenario, PairSpec};

@@ -10,14 +10,26 @@
 //!   on a ring around it: the sensor-deployment shape where one
 //!   well-provisioned device carries the carrier burden for a fleet of
 //!   coin-cell tags.
+//!
+//! [`FleetScenario::open_system`] leaves the closed world: a hub grid plus
+//! a Poisson stream of tags that arrive, dwell, roam, and leave mid-run.
+//! The whole roster — every arrival instant, position, battery, dwell and
+//! roam decision — is materialized **here, at construction time**, from
+//! one seeded [`rand`] stream. The engine never draws randomness: it
+//! replays the roster through the DES kernel, which is what keeps an
+//! open-system run byte-identical at any `--jobs` (DESIGN.md §13).
 
 use crate::arbitration::Arbitration;
+use crate::discovery::DiscoveryConfig;
+use crate::lifecycle::LifecyclePolicy;
 use braidio_mac::mobility::LinearWalk;
 use braidio_radio::characterization::Characterization;
 use braidio_radio::switching::SwitchingOverhead;
 use braidio_radio::Mode;
 use braidio_rfsim::geometry::{line, ring, Point};
 use braidio_units::{Joules, Meters, Seconds};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// One device: a position and a battery.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +53,13 @@ pub struct PairSpec {
     /// Optional mobility: the separation follows this walk (the receiver
     /// is displaced along the pair's axis; the transmitter stays put).
     pub walk: Option<LinearWalk>,
+    /// Open-system arrival instant: the session enters Init (paying
+    /// detector-only power) at this time instead of associating at the
+    /// closed-scenario stagger. `None` for closed scenarios.
+    pub arrival: Option<Seconds>,
+    /// Open-system dwell end: the session departs gracefully at this time
+    /// (if still alive). `None` for closed scenarios.
+    pub departure: Option<Seconds>,
 }
 
 impl PairSpec {
@@ -51,8 +70,44 @@ impl PairSpec {
             rx,
             pinned_mode: None,
             walk: None,
+            arrival: None,
+            departure: None,
         }
     }
+
+    /// An open-system session: `tx` streams to `rx` from `arrival` until
+    /// `departure`.
+    pub fn session(tx: usize, rx: usize, arrival: Seconds, departure: Seconds) -> Self {
+        PairSpec {
+            tx,
+            rx,
+            pinned_mode: None,
+            walk: None,
+            arrival: Some(arrival),
+            departure: Some(departure),
+        }
+    }
+}
+
+/// Open-system knobs the engine needs at run time. The arrival stream
+/// itself is *not* here — it is baked into the pair list at construction
+/// ([`FleetScenario::open_system`]); these are the policies that interpret
+/// it plus the descriptive parameters the roster was drawn from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// The seed the roster was drawn from (reproducibility handle).
+    pub seed: u64,
+    /// Lifecycle thresholds and timers.
+    pub lifecycle: LifecyclePolicy,
+    /// Beacon schedule and detector economics for admission.
+    pub discovery: DiscoveryConfig,
+    /// Steady-state sliding window: goodput/fairness are reported over the
+    /// last `window` seconds of the horizon, not the whole run.
+    pub window: Seconds,
+    /// Mean session arrival rate the roster was drawn at (sessions/s).
+    pub arrival_rate: f64,
+    /// Mean dwell time the roster was drawn at.
+    pub mean_dwell: Seconds,
 }
 
 /// A complete fleet experiment description.
@@ -83,13 +138,30 @@ pub struct FleetScenario {
     /// ([`crate::cache::far_field_cutoff`]). Off by default; bitwise-neutral
     /// wherever all pairs sit within the cutoff (every in-room scenario).
     pub far_field_cull: bool,
+    /// Open-system churn: present iff this is an
+    /// [`open_system`](Self::open_system) scenario. Closed scenarios keep
+    /// `None` and take the legacy fast path through the engine.
+    pub churn: Option<ChurnConfig>,
 }
 
 impl FleetScenario {
     /// A scenario with the `mac::sim` defaults for everything but the
     /// topology.
     pub fn new(devices: Vec<DeviceSpec>, pairs: Vec<PairSpec>, arbitration: Arbitration) -> Self {
-        let s = FleetScenario {
+        let s = Self::unvalidated(devices, pairs, arbitration);
+        s.validate();
+        s
+    }
+
+    /// The `new` defaults without the validation pass — for constructors
+    /// (like [`open_system`](Self::open_system)) that must set `churn`
+    /// before the pair list is legal to validate.
+    fn unvalidated(
+        devices: Vec<DeviceSpec>,
+        pairs: Vec<PairSpec>,
+        arbitration: Arbitration,
+    ) -> Self {
+        FleetScenario {
             ch: Characterization::braidio(),
             switching: SwitchingOverhead::table5(),
             devices,
@@ -101,9 +173,8 @@ impl FleetScenario {
             horizon: Seconds::new(600.0),
             control_overhead: true,
             far_field_cull: false,
-        };
-        s.validate();
-        s
+            churn: None,
+        }
     }
 
     /// Same scenario with a different horizon.
@@ -282,6 +353,125 @@ impl FleetScenario {
         FleetScenario::new(devices, pairs, arbitration)
     }
 
+    /// An open system: a grid of mains-class hubs and a Poisson stream of
+    /// tags that arrive, dwell, sometimes roam to a second hub, and leave.
+    ///
+    /// * `hubs` hubs sit on a `⌈√hubs⌉` grid with 8 m pitch, 99.5 Wh each.
+    /// * Sessions arrive as a Poisson process with rate
+    ///   `expected_sessions / horizon` (exponential inter-arrivals), so on
+    ///   average `expected_sessions` tags show up before the horizon; the
+    ///   exact count is a pure function of `seed`.
+    /// * Each tag lands uniformly in the room, streams to its nearest hub
+    ///   (the backscatter-friendly direction, as in [`Self::star`]), and
+    ///   dwells for an exponential time with mean `horizon / 6`.
+    /// * With probability 0.1 (and at least two hubs) the session *roams*:
+    ///   the dwell splits at a uniform point in its middle and the second
+    ///   leg streams to the second-nearest hub — two pair rows over one
+    ///   tag device, with disjoint `[arrival, departure)` windows.
+    /// * With probability 0.08 the tag is *frail* (a 0.2 mWh residual
+    ///   coin cell that browns out mid-session under active-mode
+    ///   braiding); otherwise it holds 1 Wh.
+    ///
+    /// Every draw happens here, from one `StdRng` stream seeded with
+    /// `seed`; the returned scenario is pure data and the engine replays
+    /// it deterministically (the arrival-stream determinism rule,
+    /// DESIGN.md §13). The run reports steady-state metrics over the last
+    /// `horizon / 3` ([`ChurnConfig::window`]).
+    pub fn open_system(
+        hubs: usize,
+        expected_sessions: usize,
+        horizon: Seconds,
+        seed: u64,
+        arbitration: Arbitration,
+    ) -> Self {
+        const HUB_PITCH: f64 = 8.0;
+        const ROAM_PROB: f64 = 0.1;
+        const FRAIL_PROB: f64 = 0.08;
+        assert!(hubs >= 1, "an open system needs at least one hub");
+        assert!(expected_sessions >= 1, "an open system needs traffic");
+        assert!(horizon.seconds() > 0.0, "horizon must be positive");
+
+        let side = (hubs as f64).sqrt().ceil() as usize;
+        let mut devices: Vec<DeviceSpec> = (0..hubs)
+            .map(|h| DeviceSpec {
+                pos: Point::new((h % side) as f64 * HUB_PITCH, (h / side) as f64 * HUB_PITCH),
+                battery: Joules::from_watt_hours(99.5),
+            })
+            .collect();
+        // The room extends half a pitch beyond the hub grid on every side.
+        let lo = -HUB_PITCH / 2.0;
+        let hi = (side.max(2) - 1) as f64 * HUB_PITCH + HUB_PITCH / 2.0;
+
+        let rate = expected_sessions as f64 / horizon.seconds();
+        let mean_dwell = horizon.seconds() / 6.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Exponential draw with the given mean; `1 - U` keeps the argument
+        // in (0, 1] so the log is finite.
+        let exp = |rng: &mut StdRng, mean: f64| -> f64 {
+            -(1.0 - rng.random_range(0.0..1.0)).ln() * mean
+        };
+
+        let mut pairs = Vec::new();
+        let mut t = exp(&mut rng, 1.0 / rate);
+        while t < horizon.seconds() {
+            let pos = Point::new(rng.random_range(lo..hi), rng.random_range(lo..hi));
+            let frail = rng.random_bool(FRAIL_PROB);
+            let dwell = exp(&mut rng, mean_dwell).max(1e-3);
+            let roam = rng.random_bool(ROAM_PROB);
+            // Two nearest hubs (ties broken by index: stable under any
+            // iteration order because the scan is index-ordered).
+            let mut best = (0usize, f64::INFINITY);
+            let mut second = (0usize, f64::INFINITY);
+            for (h, hub) in devices.iter().enumerate().take(hubs) {
+                let d = pos.distance(hub.pos).meters();
+                if d < best.1 {
+                    second = best;
+                    best = (h, d);
+                } else if d < second.1 {
+                    second = (h, d);
+                }
+            }
+            let tag = devices.len();
+            devices.push(DeviceSpec {
+                pos,
+                battery: Joules::from_watt_hours(if frail { 2e-4 } else { 1.0 }),
+            });
+            let arrival = Seconds::new(t);
+            let departure = Seconds::new(t + dwell);
+            if roam && hubs >= 2 {
+                let split = t + dwell * rng.random_range(0.3..0.7);
+                pairs.push(PairSpec::session(tag, best.0, arrival, Seconds::new(split)));
+                pairs.push(PairSpec::session(
+                    tag,
+                    second.0,
+                    Seconds::new(split),
+                    departure,
+                ));
+            } else {
+                pairs.push(PairSpec::session(tag, best.0, arrival, departure));
+            }
+            t += exp(&mut rng, 1.0 / rate);
+        }
+        assert!(
+            !pairs.is_empty(),
+            "seed {seed} produced no arrivals before the horizon; raise expected_sessions"
+        );
+
+        let mut s = FleetScenario::unvalidated(devices, pairs, arbitration);
+        s.horizon = horizon;
+        s.replan_interval = Seconds::new(1.0);
+        s.churn = Some(ChurnConfig {
+            seed,
+            lifecycle: LifecyclePolicy::default(),
+            discovery: DiscoveryConfig::default(),
+            window: Seconds::new(horizon.seconds() / 3.0),
+            arrival_rate: rate,
+            mean_dwell: Seconds::new(mean_dwell),
+        });
+        s.validate();
+        s
+    }
+
     /// Panics if a pair references a missing device or loops on itself.
     pub fn validate(&self) {
         assert!(!self.devices.is_empty(), "a fleet needs devices");
@@ -300,6 +490,29 @@ impl FleetScenario {
                 "pair {i} references a missing device"
             );
             assert!(p.tx != p.rx, "pair {i} loops device {} on itself", p.tx);
+            match (self.churn.is_some(), p.arrival, p.departure) {
+                (true, Some(a), Some(d)) => {
+                    assert!(
+                        a.seconds() >= 0.0 && d.seconds() > a.seconds(),
+                        "pair {i}: departure must follow arrival"
+                    );
+                }
+                (true, _, _) => panic!("pair {i}: churn scenarios need arrival and departure"),
+                (false, None, None) => {}
+                (false, _, _) => {
+                    panic!("pair {i}: arrival/departure require an open-system scenario")
+                }
+            }
+        }
+        if let Some(c) = &self.churn {
+            assert!(
+                c.window.seconds() > 0.0 && c.window.seconds() <= self.horizon.seconds(),
+                "steady-state window must fit the horizon"
+            );
+            assert!(
+                c.discovery.beacon_interval.seconds() > 0.0 && c.lifecycle.cooldown.seconds() > 0.0,
+                "churn timers must be positive"
+            );
         }
     }
 }
@@ -365,6 +578,81 @@ mod tests {
         assert_eq!(s5.pairs.len(), 5);
         assert_eq!(s5.devices.len(), 8 + 2);
         assert_eq!(s5.pairs[4].rx, 8);
+    }
+
+    #[test]
+    fn open_system_roster_is_a_pure_function_of_the_seed() {
+        let mk = |seed| {
+            FleetScenario::open_system(4, 40, Seconds::new(60.0), seed, Arbitration::Uncoordinated)
+        };
+        let (a, b) = (mk(7), mk(7));
+        assert_eq!(a.devices.len(), b.devices.len());
+        assert_eq!(a.pairs.len(), b.pairs.len());
+        for (x, y) in a.pairs.iter().zip(&b.pairs) {
+            assert_eq!(x.tx, y.tx);
+            assert_eq!(x.rx, y.rx);
+            assert_eq!(
+                x.arrival.unwrap().seconds().to_bits(),
+                y.arrival.unwrap().seconds().to_bits()
+            );
+            assert_eq!(
+                x.departure.unwrap().seconds().to_bits(),
+                y.departure.unwrap().seconds().to_bits()
+            );
+        }
+        for (x, y) in a.devices.iter().zip(&b.devices) {
+            assert_eq!(x.pos.x.to_bits(), y.pos.x.to_bits());
+            assert_eq!(x.battery.joules().to_bits(), y.battery.joules().to_bits());
+        }
+        // A different seed draws a different roster.
+        let c = mk(8);
+        let same = a.pairs.len() == c.pairs.len()
+            && a.pairs.iter().zip(&c.pairs).all(|(x, y)| {
+                x.arrival.unwrap().seconds().to_bits() == y.arrival.unwrap().seconds().to_bits()
+            });
+        assert!(!same, "seed must matter");
+    }
+
+    #[test]
+    fn open_system_shape_is_plausible() {
+        let s =
+            FleetScenario::open_system(4, 60, Seconds::new(60.0), 1, Arbitration::Uncoordinated);
+        let c = s.churn.expect("open system carries churn config");
+        assert_eq!(c.seed, 1);
+        // Arrival count is Poisson(60): comfortably within ±50%.
+        let tags = s.devices.len() - 4;
+        assert!((30..=90).contains(&tags), "{tags} tags");
+        // Pairs >= tags (roaming splits add rows), all stream to a hub.
+        assert!(s.pairs.len() >= tags);
+        let mut roams = 0;
+        for p in &s.pairs {
+            assert!(p.rx < 4, "sessions stream tag -> hub");
+            assert!(p.tx >= 4);
+            assert!(p.arrival.unwrap().seconds() < s.horizon.seconds());
+            if s.pairs.iter().filter(|q| q.tx == p.tx).count() == 2 {
+                roams += 1;
+            }
+        }
+        assert!(roams > 0, "some sessions should roam at 60 arrivals");
+        // Roam legs of one tag tile its dwell: leg 1 ends where leg 2 starts.
+        for w in s.pairs.windows(2) {
+            if w[0].tx == w[1].tx {
+                assert_eq!(
+                    w[0].departure.unwrap().seconds().to_bits(),
+                    w[1].arrival.unwrap().seconds().to_bits()
+                );
+                assert_ne!(w[0].rx, w[1].rx, "roam must change hubs");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need arrival and departure")]
+    fn validate_catches_closed_pairs_in_churn() {
+        let mut s =
+            FleetScenario::open_system(2, 20, Seconds::new(30.0), 3, Arbitration::Uncoordinated);
+        s.pairs[0].arrival = None;
+        s.validate();
     }
 
     #[test]

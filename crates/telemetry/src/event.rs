@@ -36,6 +36,10 @@ pub enum DeathReason {
     BatteryDead,
     /// No mode closes the link (out of range / interference).
     NoViableMode,
+    /// The device's dwell time ended: a graceful open-system departure.
+    Departed,
+    /// The session ran out of cooldown retries and gave up.
+    GaveUp,
 }
 
 impl DeathReason {
@@ -44,6 +48,46 @@ impl DeathReason {
         match self {
             DeathReason::BatteryDead => "battery_dead",
             DeathReason::NoViableMode => "no_viable_mode",
+            DeathReason::Departed => "departed",
+            DeathReason::GaveUp => "gave_up",
+        }
+    }
+}
+
+/// A session lifecycle phase, as carried by [`Event::PhaseChange`].
+///
+/// Mirrors `braidio-net`'s `lifecycle::LinkPhase` without depending on that
+/// crate (telemetry sits below the radio stack in the dependency order);
+/// the codes are the contract between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PhaseTag {
+    /// Undiscovered: detector-only listening.
+    Init,
+    /// Admitted, measuring options.
+    Probe,
+    /// Plan installed, ramping.
+    Warm,
+    /// Steady-state exchange.
+    Live,
+    /// Energy-degraded, pinned to the cheapest mode.
+    Degrade,
+    /// Quiesced, awaiting retry or drop.
+    Cooldown,
+    /// Terminal.
+    Dead,
+}
+
+impl PhaseTag {
+    /// The snake_case code used in sinks.
+    pub fn code(&self) -> &'static str {
+        match self {
+            PhaseTag::Init => "init",
+            PhaseTag::Probe => "probe",
+            PhaseTag::Warm => "warm",
+            PhaseTag::Live => "live",
+            PhaseTag::Degrade => "degrade",
+            PhaseTag::Cooldown => "cooldown",
+            PhaseTag::Dead => "dead",
         }
     }
 }
@@ -197,6 +241,30 @@ pub enum Event {
         /// The device that woke.
         track: Track,
     },
+    /// A session moved between lifecycle phases. Emitted only by
+    /// open-system (churn) scenarios; per track, `from` of each event must
+    /// equal the `to` of the previous one, a chain the JSONL validator
+    /// checks.
+    PhaseChange {
+        /// Simulated time.
+        at: Seconds,
+        /// The pair whose session changed phase.
+        track: Track,
+        /// Phase left.
+        from: PhaseTag,
+        /// Phase entered.
+        to: PhaseTag,
+    },
+    /// Discovery completed: a hub beacon reached the tag's wake-up
+    /// detector and admitted the session to Probe.
+    Admitted {
+        /// Simulated time (the admission instant).
+        at: Seconds,
+        /// The pair admitted.
+        track: Track,
+        /// Seconds the tag waited in Init, paying detector-only power.
+        latency: Seconds,
+    },
 }
 
 impl Event {
@@ -211,7 +279,9 @@ impl Event {
             | Event::QuantumLost { at, .. }
             | Event::EnergyDebit { at, .. }
             | Event::SessionDead { at, .. }
-            | Event::WakeupDetect { at, .. } => at,
+            | Event::WakeupDetect { at, .. }
+            | Event::PhaseChange { at, .. }
+            | Event::Admitted { at, .. } => at,
         }
     }
 
@@ -226,7 +296,9 @@ impl Event {
             | Event::QuantumLost { track, .. }
             | Event::EnergyDebit { track, .. }
             | Event::SessionDead { track, .. }
-            | Event::WakeupDetect { track, .. } => track,
+            | Event::WakeupDetect { track, .. }
+            | Event::PhaseChange { track, .. }
+            | Event::Admitted { track, .. } => track,
         }
     }
 
@@ -243,6 +315,8 @@ impl Event {
             Event::EnergyDebit { .. } => "energy_debit",
             Event::SessionDead { .. } => "session_dead",
             Event::WakeupDetect { .. } => "wakeup_detect",
+            Event::PhaseChange { .. } => "phase_change",
+            Event::Admitted { .. } => "admitted",
         }
     }
 }
@@ -273,6 +347,9 @@ mod tests {
         assert_eq!(ModeTag::Backscatter.label(), "Backscatter");
         assert_eq!(RateTag::Mbps1.label(), "1M");
         assert_eq!(DeathReason::NoViableMode.code(), "no_viable_mode");
+        assert_eq!(DeathReason::Departed.code(), "departed");
+        assert_eq!(DeathReason::GaveUp.code(), "gave_up");
+        assert_eq!(PhaseTag::Cooldown.code(), "cooldown");
     }
 
     #[test]
@@ -328,12 +405,23 @@ mod tests {
                 at: t,
                 track: Track::Device(2),
             },
+            Event::PhaseChange {
+                at: t,
+                track: Track::Pair(1),
+                from: PhaseTag::Init,
+                to: PhaseTag::Probe,
+            },
+            Event::Admitted {
+                at: t,
+                track: Track::Pair(1),
+                latency: Seconds::new(0.25),
+            },
         ];
         let mut names = std::collections::BTreeSet::new();
         for e in events {
             assert_eq!(e.at(), t);
             names.insert(e.name());
         }
-        assert_eq!(names.len(), 9, "every variant has a distinct name");
+        assert_eq!(names.len(), 11, "every variant has a distinct name");
     }
 }

@@ -49,7 +49,7 @@ pub use bus::{
     inject, profiling, run_base, set_enabled, set_profiling, set_run_base, spans_snapshot,
     take_events, take_spans, with_run, Batch,
 };
-pub use event::{DeathReason, Event, ModeTag, RateTag, Stamped, Track};
+pub use event::{DeathReason, Event, ModeTag, PhaseTag, RateTag, Stamped, Track};
 pub use span::{span, Span, SpanRecord};
 
 /// The shared unit types events are stamped with, re-exported so sinks and

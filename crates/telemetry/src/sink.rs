@@ -25,14 +25,22 @@
 //! * `t` — simulated seconds since the unit's clock zero;
 //! * `ev` — one of `mode_switch`, `replan`, `carrier_grant`,
 //!   `carrier_release`, `quantum_delivered`, `quantum_lost`,
-//!   `energy_debit`, `session_dead`, `wakeup_detect`;
-//! * variant fields: `from`/`to` (mode codes; `from` may be `null`),
+//!   `energy_debit`, `session_dead`, `wakeup_detect`, `phase_change`,
+//!   `admitted`;
+//! * variant fields: `from`/`to` (mode codes on `mode_switch`, phase codes
+//!   on `phase_change`; a `mode_switch` `from` may be `null`),
 //!   `planned`/`exact`/`primary` (`primary` may be `null`), `mode`/`rate`/
-//!   `bits`, `joules`, `reason` (`battery_dead` | `no_viable_mode`).
+//!   `bits`, `joules`, `reason` (`battery_dead` | `no_viable_mode` |
+//!   `departed` | `gave_up`), `latency` (seconds, on `admitted`).
 //!
 //! Within one `(run, unit, track)` identity `t` is monotone non-decreasing
 //! and `carrier_grant`/`carrier_release` strictly alternate starting with
-//! a grant and ending balanced — [`validate_jsonl`] checks all of it.
+//! a grant and ending balanced. Open-system (churn) traces additionally
+//! carry `phase_change` chains: per track the chain starts from `init`,
+//! each event's `from` equals the previous event's `to`, every hop is a
+//! legal `lifecycle::step` transition, and once a track has declared
+//! phases, `quantum_delivered` is only legal while it sits in `live` or
+//! `degrade`. [`validate_jsonl`] checks all of it.
 
 use crate::event::{DeathReason, Event, Stamped, Track};
 use crate::span::SpanRecord;
@@ -111,6 +119,17 @@ pub fn render_jsonl(events: &[Stamped]) -> String {
                 let _ = write!(out, ",\"reason\":\"{}\"", reason.code());
             }
             Event::WakeupDetect { .. } => {}
+            Event::PhaseChange { from, to, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"from\":\"{}\",\"to\":\"{}\"",
+                    from.code(),
+                    to.code()
+                );
+            }
+            Event::Admitted { latency, .. } => {
+                let _ = write!(out, ",\"latency\":{}", num(latency.seconds()));
+            }
         }
         out.push_str("}\n");
     }
@@ -233,6 +252,17 @@ pub fn render_chrome(events: &[Stamped]) -> String {
                     Event::SessionDead { reason, .. } => {
                         let _ = write!(args, "\"reason\":\"{}\"", reason.code());
                     }
+                    Event::PhaseChange { from, to, .. } => {
+                        let _ = write!(
+                            args,
+                            "\"from\":\"{}\",\"to\":\"{}\"",
+                            from.code(),
+                            to.code()
+                        );
+                    }
+                    Event::Admitted { latency, .. } => {
+                        let _ = write!(args, "\"latency\":{}", num(latency.seconds()));
+                    }
                     _ => {}
                 }
                 let _ = write!(
@@ -313,6 +343,14 @@ pub fn render_text_line(e: &Event) -> String {
             reason: DeathReason::BatteryDead,
             ..
         } => format!("{:>12.6}s  DEAD  battery exhausted", t),
+        Event::SessionDead {
+            reason: DeathReason::Departed,
+            ..
+        } => format!("{:>12.6}s  GONE  departed", t),
+        Event::SessionDead {
+            reason: DeathReason::GaveUp,
+            ..
+        } => format!("{:>12.6}s  DEAD  gave up after cooldowns", t),
         Event::ModeSwitch { from, to, .. } => format!(
             "{:>12.6}s  MODE  {} -> {}",
             t,
@@ -325,6 +363,12 @@ pub fn render_text_line(e: &Event) -> String {
             format!("{:>12.6}s  DRAW  {:.3e} J", t, joules.joules())
         }
         Event::WakeupDetect { .. } => format!("{:>12.6}s  WAKE  detector fired", t),
+        Event::PhaseChange { from, to, .. } => {
+            format!("{:>12.6}s  PHSE  {} -> {}", t, from.code(), to.code())
+        }
+        Event::Admitted { latency, .. } => {
+            format!("{:>12.6}s  ADMT  after {:.6}s", t, latency.seconds())
+        }
     }
 }
 
@@ -353,7 +397,7 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 }
 
 /// The closed set of event names schema 1 admits.
-const EVENT_NAMES: [&str; 9] = [
+const EVENT_NAMES: [&str; 11] = [
     "mode_switch",
     "replan",
     "carrier_grant",
@@ -363,12 +407,51 @@ const EVENT_NAMES: [&str; 9] = [
     "energy_debit",
     "session_dead",
     "wakeup_detect",
+    "phase_change",
+    "admitted",
 ];
+
+/// The legal lifecycle hops a `phase_change` line may declare, mirroring
+/// `braidio-net`'s `lifecycle::step` table minus its self-loops (the
+/// engine emits a `phase_change` only when the phase actually changes).
+const PHASE_HOPS: [(&str, &str); 17] = [
+    ("init", "probe"),
+    ("init", "dead"),
+    ("probe", "warm"),
+    ("probe", "cooldown"),
+    ("probe", "dead"),
+    ("warm", "live"),
+    ("warm", "degrade"),
+    ("warm", "cooldown"),
+    ("warm", "dead"),
+    ("live", "degrade"),
+    ("live", "cooldown"),
+    ("live", "dead"),
+    ("degrade", "live"),
+    ("degrade", "cooldown"),
+    ("degrade", "dead"),
+    ("cooldown", "probe"),
+    ("cooldown", "dead"),
+];
+
+/// Per-identity running state the validator maintains.
+#[derive(Default)]
+struct TrackState {
+    last_t: f64,
+    carrier_held: bool,
+    /// Current lifecycle phase, once the track has declared one. `None`
+    /// for closed-scenario tracks, which never emit `phase_change` and
+    /// whose deliveries are therefore not phase-gated.
+    phase: Option<String>,
+}
 
 /// Validate a schema-1 JSONL trace: header present, every line parses
 /// with the required identity fields, event names are in the closed set,
-/// per-identity time is monotone non-decreasing, and carrier grants and
-/// releases alternate and balance per identity.
+/// per-identity time is monotone non-decreasing, carrier grants and
+/// releases alternate and balance per identity, `phase_change` chains are
+/// consistent (start from `init`, `from` matches the running phase, every
+/// hop legal), and phase-declaring tracks only deliver quanta in `live` or
+/// `degrade`.
 pub fn validate_jsonl(jsonl: &str) -> Result<TraceSummary, String> {
     let mut lines = jsonl.lines().enumerate();
     let Some((_, header)) = lines.next() else {
@@ -377,8 +460,7 @@ pub fn validate_jsonl(jsonl: &str) -> Result<TraceSummary, String> {
     if !header.contains("\"schema\":1") || !header.contains("\"stream\":\"braidio-telemetry\"") {
         return Err(format!("bad header: {header}"));
     }
-    // Per (run, unit, track): (last time, carrier held?).
-    let mut state: BTreeMap<(u32, u32, String), (f64, bool)> = BTreeMap::new();
+    let mut state: BTreeMap<(u32, u32, String), TrackState> = BTreeMap::new();
     let mut events = 0usize;
     for (i, line) in lines {
         let n = i + 1; // 1-based line number
@@ -406,39 +488,75 @@ pub fn validate_jsonl(jsonl: &str) -> Result<TraceSummary, String> {
         if !EVENT_NAMES.contains(&ev) {
             return Err(format!("line {n}: unknown event \"{ev}\""));
         }
-        let entry = state
-            .entry((run, unit, track.to_string()))
-            .or_insert((0.0, false));
-        if t < entry.0 {
+        let entry = state.entry((run, unit, track.to_string())).or_default();
+        if t < entry.last_t {
             return Err(format!(
                 "line {n}: time went backwards on ({run},{unit},{track}): {t} < {}",
-                entry.0
+                entry.last_t
             ));
         }
-        entry.0 = t;
+        entry.last_t = t;
         match ev {
             "carrier_grant" => {
-                if entry.1 {
+                if entry.carrier_held {
                     return Err(format!(
                         "line {n}: carrier_grant while already granted on ({run},{unit},{track})"
                     ));
                 }
-                entry.1 = true;
+                entry.carrier_held = true;
             }
             "carrier_release" => {
-                if !entry.1 {
+                if !entry.carrier_held {
                     return Err(format!(
                         "line {n}: carrier_release without a grant on ({run},{unit},{track})"
                     ));
                 }
-                entry.1 = false;
+                entry.carrier_held = false;
+            }
+            "phase_change" => {
+                let from = field(line, "from")
+                    .ok_or_else(|| format!("line {n}: phase_change missing \"from\""))?;
+                let to = field(line, "to")
+                    .ok_or_else(|| format!("line {n}: phase_change missing \"to\""))?;
+                let current = entry.phase.as_deref().unwrap_or("init");
+                if from != current {
+                    return Err(format!(
+                        "line {n}: phase chain broken on ({run},{unit},{track}): \
+                         from \"{from}\" but track is in \"{current}\""
+                    ));
+                }
+                if !PHASE_HOPS.contains(&(from, to)) {
+                    return Err(format!(
+                        "line {n}: illegal phase transition \"{from}\" -> \"{to}\" \
+                         on ({run},{unit},{track})"
+                    ));
+                }
+                entry.phase = Some(to.to_string());
+            }
+            "quantum_delivered" => {
+                if let Some(phase) = entry.phase.as_deref() {
+                    if phase != "live" && phase != "degrade" {
+                        return Err(format!(
+                            "line {n}: quantum_delivered in phase \"{phase}\" \
+                             on ({run},{unit},{track})"
+                        ));
+                    }
+                }
+            }
+            "admitted" => {
+                let ok = field(line, "latency")
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .is_some_and(|l| l.is_finite() && l >= 0.0);
+                if !ok {
+                    return Err(format!("line {n}: missing/bad \"latency\""));
+                }
             }
             _ => {}
         }
         events += 1;
     }
-    for ((run, unit, track), (_, held)) in &state {
-        if *held {
+    for ((run, unit, track), st) in &state {
+        if st.carrier_held {
             return Err(format!(
                 "unreleased carrier_grant on ({run},{unit},{track})"
             ));
@@ -588,6 +706,89 @@ mod tests {
     fn validator_rejects_foreign_events() {
         let jsonl = "{\"schema\":1,\"stream\":\"braidio-telemetry\",\"time\":\"simulated-seconds\"}\n{\"run\":0,\"unit\":0,\"track\":\"p0\",\"t\":0,\"ev\":\"surprise\"}\n";
         assert!(validate_jsonl(jsonl).unwrap_err().contains("unknown event"));
+    }
+
+    #[test]
+    fn validator_tracks_phase_chains() {
+        use crate::event::PhaseTag;
+        let s = |event| Stamped {
+            run: 0,
+            unit: 0,
+            event,
+        };
+        let chain = |hops: &[(PhaseTag, PhaseTag)]| -> Vec<Stamped> {
+            hops.iter()
+                .enumerate()
+                .map(|(i, &(from, to))| {
+                    s(Event::PhaseChange {
+                        at: Seconds::new(i as f64),
+                        track: Track::Pair(0),
+                        from,
+                        to,
+                    })
+                })
+                .collect()
+        };
+        // A legal full ride through the machine.
+        let mut good = vec![s(Event::Admitted {
+            at: Seconds::new(0.0),
+            track: Track::Pair(0),
+            latency: Seconds::new(0.0),
+        })];
+        good.extend(chain(&[
+            (PhaseTag::Init, PhaseTag::Probe),
+            (PhaseTag::Probe, PhaseTag::Warm),
+            (PhaseTag::Warm, PhaseTag::Live),
+            (PhaseTag::Live, PhaseTag::Degrade),
+            (PhaseTag::Degrade, PhaseTag::Cooldown),
+            (PhaseTag::Cooldown, PhaseTag::Dead),
+        ]));
+        validate_jsonl(&render_jsonl(&good)).expect("legal chain");
+
+        // A chain that starts anywhere but Init is broken.
+        let bad = chain(&[(PhaseTag::Probe, PhaseTag::Warm)]);
+        let err = validate_jsonl(&render_jsonl(&bad)).unwrap_err();
+        assert!(err.contains("phase chain broken"), "{err}");
+
+        // A hop outside the lifecycle table is illegal even if chained.
+        let bad = chain(&[
+            (PhaseTag::Init, PhaseTag::Probe),
+            (PhaseTag::Probe, PhaseTag::Live),
+        ]);
+        let err = validate_jsonl(&render_jsonl(&bad)).unwrap_err();
+        assert!(err.contains("illegal phase transition"), "{err}");
+    }
+
+    #[test]
+    fn validator_gates_delivery_on_phase() {
+        use crate::event::PhaseTag;
+        let s = |event| Stamped {
+            run: 0,
+            unit: 0,
+            event,
+        };
+        let delivered = s(Event::QuantumDelivered {
+            at: Seconds::new(2.0),
+            track: Track::Pair(0),
+            mode: ModeTag::Backscatter,
+            rate: RateTag::Mbps1,
+            bits: 64.0,
+        });
+        // Without any phase declaration (closed scenarios) delivery is
+        // ungated — the legacy sample() trace stays valid elsewhere.
+        validate_jsonl(&render_jsonl(&[delivered])).expect("ungated");
+        // Declared Probe: delivery must be rejected.
+        let bad = vec![
+            s(Event::PhaseChange {
+                at: Seconds::new(0.0),
+                track: Track::Pair(0),
+                from: PhaseTag::Init,
+                to: PhaseTag::Probe,
+            }),
+            delivered,
+        ];
+        let err = validate_jsonl(&render_jsonl(&bad)).unwrap_err();
+        assert!(err.contains("quantum_delivered in phase"), "{err}");
     }
 
     #[test]
