@@ -13,6 +13,9 @@
 //! experiments fleet --trace-events fleet.jsonl   # simulated-time event trace
 //! experiments fleet --trace-chrome fleet.trace   # Perfetto-loadable trace
 //! experiments fleet --profile prof.trace         # wall-clock span profile
+//! experiments fleet --profile-folded prof.folded # collapsed-stacks profile
+//! experiments fleet --churn --timeseries ts.csv  # sim-time gauge series
+//! experiments analyze fleet.jsonl                # offline trace analysis
 //! ```
 //!
 //! The full argument list is validated before anything runs: a typo in the
@@ -40,6 +43,11 @@ struct Cli {
     trace_chrome: Option<String>,
     /// Write the wall-clock span profile as Chrome trace-event JSON.
     profile: Option<String>,
+    /// Write the wall-clock span profile as collapsed stacks (flamegraph).
+    profile_folded: Option<String>,
+    /// Write the fleet gauge time series as CSV here (JSONL twin at
+    /// `<path>.jsonl`).
+    timeseries: Option<String>,
     /// Worker-thread override (`--jobs N`), if given.
     jobs: Option<usize>,
     /// Large-fleet pair count for the `fleet` experiment (`--scale N`).
@@ -51,7 +59,19 @@ struct Cli {
 }
 
 fn main() {
-    let cli = match parse(std::env::args().skip(1).collect()) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `analyze` is a subcommand, not an experiment: it reads a trace file
+    // instead of running simulations, so it gets its own argument grammar.
+    if args.first().map(String::as_str) == Some("analyze") {
+        match run_analyze(&args[1..]) {
+            Ok(()) => return,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let cli = match parse(args) {
         Ok(Some(cli)) => cli,
         Ok(None) => return,
         Err(msg) => {
@@ -73,9 +93,10 @@ fn main() {
     if cli.trace_events.is_some() || cli.trace_chrome.is_some() {
         telemetry::set_enabled(true);
     }
-    if cli.profile.is_some() {
+    if cli.profile.is_some() || cli.profile_folded.is_some() {
         telemetry::set_profiling(true);
     }
+    braidio_bench::fleet::set_timeseries(cli.timeseries.is_some());
 
     let mut timings: Vec<(&str, f64)> = Vec::new();
     for (j, (name, run)) in cli.runs.iter().enumerate() {
@@ -104,9 +125,29 @@ fn main() {
             write_or_die(path, &telemetry::sink::render_chrome(&events));
         }
     }
-    if let Some(path) = &cli.profile {
+    if cli.profile.is_some() || cli.profile_folded.is_some() {
         let spans = telemetry::take_spans();
-        write_or_die(path, &telemetry::sink::render_profile_chrome(&spans));
+        if let Some(path) = &cli.profile {
+            write_or_die(path, &telemetry::sink::render_profile_chrome(&spans));
+        }
+        if let Some(path) = &cli.profile_folded {
+            write_or_die(path, &telemetry::sink::render_profile_folded(&spans));
+        }
+    }
+    // The time series is collected inside the engine's serial event loop, so
+    // like the event trace it carries simulated time only and both renderings
+    // are byte-identical at any `--jobs` count.
+    let series = if cli.timeseries.is_some() {
+        braidio_bench::fleet::take_series()
+    } else {
+        Vec::new()
+    };
+    if let Some(path) = &cli.timeseries {
+        write_or_die(path, &telemetry::timeseries::render_csv(&series));
+        write_or_die(
+            &format!("{path}.jsonl"),
+            &telemetry::timeseries::render_jsonl(&series),
+        );
     }
 
     // The timing report goes to stderr so the experiment output itself is
@@ -130,8 +171,60 @@ fn main() {
     }
 
     if let Some(path) = &cli.bench_json {
-        write_or_die(path, &bench_json(&timings));
+        write_or_die(path, &bench_json(&timings, &series));
     }
+}
+
+/// `experiments analyze <trace.jsonl> [--json PATH] [--stuck-s N]`: offline
+/// analysis of a `--trace-events` capture. The human-readable report goes to
+/// stdout; `--json` writes the machine report next to it. Exits 0 whenever
+/// the trace parses — anomalies are findings, not failures — so CI gates on
+/// the stable `anomalies: N` stdout line instead of the exit code.
+fn run_analyze(args: &[String]) -> Result<(), String> {
+    let mut trace: Option<&str> = None;
+    let mut json: Option<String> = None;
+    let mut opts = braidio_bench::analyze::AnalyzeOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                let v = it
+                    .next()
+                    .filter(|v| !v.starts_with('-'))
+                    .ok_or_else(|| format!("{arg} needs an output path"))?;
+                json = Some(v.clone());
+            }
+            "--stuck-s" => {
+                let v = it
+                    .next()
+                    .filter(|v| !v.starts_with('-'))
+                    .ok_or_else(|| format!("{arg} needs a threshold in seconds"))?;
+                let s: f64 = v
+                    .parse()
+                    .map_err(|_| format!("{arg} {v}: not a number of seconds"))?;
+                if !(s.is_finite() && s > 0.0) {
+                    return Err(format!("{arg} {v}: need a positive finite threshold"));
+                }
+                opts.stuck_s = s;
+            }
+            name if name.starts_with('-') => return Err(format!("unknown analyze flag '{name}'")),
+            name => {
+                if trace.is_some() {
+                    return Err("analyze takes exactly one trace file".into());
+                }
+                trace = Some(name);
+            }
+        }
+    }
+    let path = trace.ok_or("analyze needs a trace file: experiments analyze <trace.jsonl>")?;
+    let jsonl = std::fs::read_to_string(path).map_err(|e| format!("failed to read {path}: {e}"))?;
+    let analysis =
+        braidio_bench::analyze::analyze(&jsonl, &opts).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", braidio_bench::analyze::render_text(&analysis));
+    if let Some(out) = &json {
+        write_or_die(out, &braidio_bench::analyze::render_json(&analysis));
+    }
+    Ok(())
 }
 
 fn write_or_die(path: &str, contents: &str) {
@@ -141,11 +234,11 @@ fn write_or_die(path: &str, contents: &str) {
     }
 }
 
-/// Render the timing report as JSON (schema 5, stable):
+/// Render the timing report as JSON (schema 6, stable):
 ///
 /// ```json
 /// {
-///   "schema": 5,
+///   "schema": 6,
 ///   "git_sha": "<HEAD sha or \"unknown\">",
 ///   "threads": 4,
 ///   "threads_source": "jobs-flag",
@@ -155,6 +248,9 @@ fn write_or_die(path: &str, contents: &str) {
 ///                   "p50": 4.1e5, "p95": 9.7e5, "max": 1.1e6,
 ///                   "mean": 5.0e5}, ...],
 ///   "counters": [{"name": "net.kernel.delivered", "value": 8123}, ...],
+///   "timeseries": [{"name": "churn1k.tdma", "rows": 121, "dt_s": 1.5,
+///                   "peak_goodput_bps": 8.1e5, "final_live_pairs": 42,
+///                   "final_cum_bits": 9.3e8}, ...],
 ///   "total_seconds": 1.234
 /// }
 /// ```
@@ -175,14 +271,20 @@ fn write_or_die(path: &str, contents: &str) {
 /// (`fleet.churn.*.occupancy_s.<phase>`) and session counters
 /// (`fleet.churn.*.sessions_{admitted,departed,died}`, `.roams`) through
 /// the existing `metrics`/`histograms` arrays — the report shape and every
-/// pre-existing fleet metric are unchanged.
+/// pre-existing fleet metric are unchanged. Schema 6 adds `timeseries`:
+/// one summary per fleet gauge series captured with `--timeseries`
+/// (scenario name, row count, sampling interval, peak windowed goodput,
+/// and the final live-pair/cumulative-bit gauges). The array is empty
+/// when `--timeseries` was not given, so pre-existing consumers see the
+/// same report plus one constant key.
 ///
-/// Written by hand (no serde in the workspace); experiment and metric
-/// names are lowercase identifiers, so no JSON string escaping is needed.
-fn bench_json(timings: &[(&str, f64)]) -> String {
+/// Written by hand (no serde in the workspace); experiment, metric and
+/// series names are lowercase identifiers, so no JSON string escaping is
+/// needed.
+fn bench_json(timings: &[(&str, f64)], series: &[telemetry::timeseries::Series]) -> String {
     let total: f64 = timings.iter().map(|(_, s)| s).sum();
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 5,\n");
+    out.push_str("  \"schema\": 6,\n");
     out.push_str(&format!("  \"git_sha\": \"{}\",\n", git_sha()));
     out.push_str(&format!(
         "  \"threads\": {},\n",
@@ -232,6 +334,25 @@ fn bench_json(timings: &[(&str, f64)]) -> String {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"timeseries\": [\n");
+    for (i, s) in series.iter().enumerate() {
+        let comma = if i + 1 < series.len() { "," } else { "" };
+        let peak = s
+            .samples
+            .iter()
+            .map(|r| r.goodput_bps)
+            .fold(0.0_f64, f64::max);
+        let last = s.samples.last();
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"rows\": {}, \"dt_s\": {}, \"peak_goodput_bps\": {peak}, \"final_live_pairs\": {}, \"final_cum_bits\": {}}}{comma}\n",
+            s.name,
+            s.samples.len(),
+            s.dt,
+            last.map_or(0, |r| r.live_pairs),
+            last.map_or(0.0, |r| r.cum_bits),
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str(&format!("  \"total_seconds\": {total:.6}\n"));
     out.push_str("}\n");
     out
@@ -275,6 +396,8 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
     let mut trace_events: Option<String> = None;
     let mut trace_chrome: Option<String> = None;
     let mut profile: Option<String> = None;
+    let mut profile_folded: Option<String> = None;
+    let mut timeseries: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut scale: Option<usize> = None;
     let mut city_block = false;
@@ -287,7 +410,8 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
             "list" => list = true,
             "all" => all = true,
             "--timing" => timing = true,
-            "--bench-json" | "--trace-events" | "--trace-chrome" | "--profile" => {
+            "--bench-json" | "--trace-events" | "--trace-chrome" | "--profile"
+            | "--profile-folded" | "--timeseries" => {
                 let v = it
                     .next()
                     .filter(|v| !v.starts_with('-'))
@@ -296,6 +420,8 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
                     "--bench-json" => &mut bench_json,
                     "--trace-events" => &mut trace_events,
                     "--trace-chrome" => &mut trace_chrome,
+                    "--profile-folded" => &mut profile_folded,
+                    "--timeseries" => &mut timeseries,
                     _ => &mut profile,
                 };
                 *slot = Some(v.clone());
@@ -371,6 +497,9 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
     if city_block && churn {
         return Err("--city-block and --churn are different fleet topologies — pick one".into());
     }
+    if timeseries.is_some() && !runs.iter().any(|(id, _)| *id == "fleet") {
+        return Err("--timeseries samples the 'fleet' experiment — add it to the selection".into());
+    }
     Ok(Some(Cli {
         runs,
         timing,
@@ -378,6 +507,8 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
         trace_events,
         trace_chrome,
         profile,
+        profile_folded,
+        timeseries,
         jobs,
         scale,
         city_block,
@@ -389,6 +520,8 @@ fn usage() {
     eprintln!("usage: experiments <selection> [--jobs N] [--scale N] [--timing]");
     eprintln!("                   [--bench-json PATH] [--trace-events PATH]");
     eprintln!("                   [--trace-chrome PATH] [--profile PATH]");
+    eprintln!("                   [--profile-folded PATH] [--timeseries PATH]");
+    eprintln!("       experiments analyze <trace.jsonl> [--json PATH] [--stuck-s N]");
     eprintln!();
     eprintln!("selection (validated before anything runs):");
     eprintln!("  all            every experiment, in paper order");
@@ -421,13 +554,13 @@ fn usage() {
     eprintln!("                  results are identical at any thread count)");
     eprintln!("  --timing       per-experiment wall-clock report on stderr");
     eprintln!("  --bench-json PATH");
-    eprintln!("                 write the timing report as JSON (schema 5:");
+    eprintln!("                 write the timing report as JSON (schema 6:");
     eprintln!("                  git sha, thread count and where it came from");
     eprintln!("                  (jobs-flag/env/auto), per-experiment seconds,");
     eprintln!("                  recorded headline metrics, histogram metrics —");
     eprintln!("                  including the --churn admission-latency, phase-");
-    eprintln!("                  occupancy and session counters — and telemetry");
-    eprintln!("                  counters)");
+    eprintln!("                  occupancy and session counters — telemetry");
+    eprintln!("                  counters, and per-series --timeseries summaries)");
     eprintln!("  --trace-events PATH");
     eprintln!("                 capture the simulated-time event trace and write");
     eprintln!("                  it as schema-versioned JSONL (byte-identical at");
@@ -437,6 +570,26 @@ fn usage() {
     eprintln!("                  in Perfetto (ui.perfetto.dev) or chrome://tracing");
     eprintln!("  --profile PATH wall-clock span profile (worker-pool chunks,");
     eprintln!("                  re-planning) as Chrome trace-event JSON");
+    eprintln!("  --profile-folded PATH");
+    eprintln!("                 same span profile as collapsed stacks");
+    eprintln!("                  ('a;b;c <self-us>' per line — pipe into any");
+    eprintln!("                  flamegraph renderer)");
+    eprintln!("  --timeseries PATH");
+    eprintln!("                 sample fleet gauges (phase occupancy, battery");
+    eprintln!("                  quantiles, goodput, cache/memo health) on a");
+    eprintln!("                  fixed simulated-time grid inside the engine's");
+    eprintln!("                  serial event loop; writes CSV at PATH and JSONL");
+    eprintln!("                  at PATH.jsonl, byte-identical at any --jobs");
+    eprintln!("                  (requires 'fleet' in the selection)");
+    eprintln!();
+    eprintln!("subcommands:");
+    eprintln!("  analyze <trace.jsonl> [--json PATH] [--stuck-s N]");
+    eprintln!("                 offline analysis of a --trace-events capture:");
+    eprintln!("                  per-phase dwell histograms, time-to-first-");
+    eprintln!("                  delivery, per-device energy waterfalls, and");
+    eprintln!("                  anomaly flags (stuck sessions beyond N seconds,");
+    eprintln!("                  default 30; grant/release imbalance; energy-");
+    eprintln!("                  ledger drift). --json adds a machine report.");
     eprintln!();
     eprintln!("Regenerates the tables and figures of the Braidio paper (SIGCOMM'16)");
     eprintln!("from the simulation models in this workspace. See EXPERIMENTS.md for");

@@ -11,11 +11,13 @@
 use crate::metrics;
 use crate::render::banner;
 use braidio_mac::coexistence::Coexistence;
-use braidio_net::{run_fleet, Arbitration, FleetReport, FleetScenario};
+use braidio_net::{run_fleet, run_fleet_sampled, Arbitration, FleetReport, FleetScenario};
 use braidio_radio::characterization::Characterization;
 use braidio_radio::Mode;
+use braidio_telemetry::Series;
 use braidio_units::{Meters, Seconds};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 const SLOT: Seconds = Seconds::new(0.25);
 const PAIR_SEP: Meters = Meters::new(0.5);
@@ -60,6 +62,21 @@ static CITY: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(
 /// `--churn`: run the open-system churn rung instead of the closed grids.
 static CHURN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
+/// `--timeseries`: sample fleet gauges from inside each scenario's serial
+/// event loop (`telemetry::timeseries`) and collect the series for the
+/// driver to render.
+static TIMESERIES: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Series collected by [`run_grid`] when `--timeseries` is on, in grid
+/// index order (the pool returns work-item results in index order, so no
+/// sorting is needed for determinism).
+static SERIES: Mutex<Vec<Series>> = Mutex::new(Vec::new());
+
+/// Rows per series: every scenario samples at `horizon / SERIES_ROWS`, so
+/// curves from different rungs align on relative time and a 10⁴-pair rung
+/// costs the same 121 rows as a room.
+pub const SERIES_ROWS: usize = 120;
+
 /// Select the large-fleet scale family for subsequent [`run`] calls
 /// (`experiments fleet --scale N`). `0` restores the default grid.
 pub fn set_scale(pairs: usize) {
@@ -76,6 +93,21 @@ pub fn set_city(on: bool) {
 /// (`experiments fleet --churn [--scale N]`).
 pub fn set_churn(on: bool) {
     CHURN.store(on, Ordering::Relaxed);
+}
+
+/// Enable time-series sampling for subsequent [`run`] calls
+/// (`experiments fleet --timeseries <path>`). Sampling reads engine state
+/// from inside the serial event loop only — reports and stdout are
+/// bit-identical with it on or off.
+pub fn set_timeseries(on: bool) {
+    TIMESERIES.store(on, Ordering::Relaxed);
+}
+
+/// Drain the series collected since the last call (grid index order,
+/// named `<tag><index>.<policy>`). The driver renders them to CSV/JSONL
+/// and summarizes them in `--bench-json`.
+pub fn take_series() -> Vec<Series> {
+    std::mem::take(&mut SERIES.lock().unwrap_or_else(|e| e.into_inner()))
 }
 
 fn policies() -> [Arbitration; 3] {
@@ -239,9 +271,35 @@ pub fn run_grid(grid: &[(&'static str, FleetScenario)]) -> Vec<FleetReport> {
     // holds a handful of wildly uneven scenarios (TDMA short-circuits the
     // interference sweep entirely), so the default oversubscription
     // chunking would weld cheap and expensive scenarios into one unit.
-    let reports = braidio_pool::par_map_indexed_with_chunk(grid.len(), 1, |i| {
-        braidio_telemetry::with_run(i as u32, || run_fleet(&grid[i].1))
+    let sampled = TIMESERIES.load(Ordering::Relaxed);
+    let results = braidio_pool::par_map_indexed_with_chunk(grid.len(), 1, |i| {
+        braidio_telemetry::with_run(i as u32, || {
+            if sampled {
+                let sc = &grid[i].1;
+                let dt = Seconds::new(sc.horizon.seconds() / SERIES_ROWS as f64);
+                let (report, mut series) = run_fleet_sampled(sc, dt);
+                series.name = format!(
+                    "{}{}.{}",
+                    grid[i].0,
+                    i,
+                    sc.arbitration.label().replace('-', "_")
+                );
+                (report, Some(series))
+            } else {
+                (run_fleet(&grid[i].1), None)
+            }
+        })
     });
+    let mut reports = Vec::with_capacity(results.len());
+    for (report, series) in results {
+        if let Some(series) = series {
+            SERIES
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(series);
+        }
+        reports.push(report);
+    }
     if braidio_telemetry::enabled() {
         audit_energy_ledger(base, &reports);
     }

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod analyze;
 pub mod coexistence;
 pub mod dynamic;
 pub mod fig1;

@@ -25,9 +25,10 @@ use std::sync::Mutex;
 /// per decade covering `1e-15 ..= 1e15`, plus an underflow bin for zero
 /// and sub-range samples — so histograms merged from different runs, or
 /// compared across thread counts, always align. Count, sum, min and max
-/// are exact; quantiles are resolved to the geometric midpoint of the
-/// containing bin, clamped to the exact `[min, max]` envelope (so `p50` of
-/// a single sample is that sample).
+/// are exact; quantiles interpolate geometrically within the containing
+/// bin (see [`Histogram::quantile`] for the error bound) and clamp to the
+/// exact `[min, max]` envelope (so `p50` of a single sample is that
+/// sample).
 #[derive(Debug, Clone)]
 pub struct Histogram {
     bins: Vec<u64>,
@@ -117,8 +118,23 @@ impl Histogram {
         }
     }
 
-    /// The `q`-quantile (`0 < q <= 1`), resolved to the geometric midpoint
-    /// of the containing bin and clamped to the exact sample envelope.
+    /// The `q`-quantile (`0 <= q <= 1`), interpolated geometrically within
+    /// the containing bin and clamped to the exact sample envelope.
+    ///
+    /// The nearest-rank sample sits somewhere inside its bin; resolving
+    /// every rank to the same fixed point (the old behavior: the bin's
+    /// geometric midpoint) biased answers toward bin boundaries — a
+    /// 2-sample histogram's p50 could land a full bin-width from either
+    /// sample. Instead, rank `r` of the `n_b` samples in its bin resolves
+    /// to the bin position `(r - ½) / n_b`, i.e. samples are assumed
+    /// evenly spread in log space across the bin, and the answer is
+    /// `10^(lo + frac/BINS_PER_DECADE)`.
+    ///
+    /// Error bound: the answer and the true sample share a bin, so with
+    /// `BINS_PER_DECADE = 4` the relative error is at most the bin edge
+    /// ratio `10^(1/4) ≈ 1.78×` — and the clamp to `[min, max]` makes
+    /// single-sample histograms (and the extreme quantiles of any
+    /// histogram) exact.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile in [0,1], got {q}");
         if self.count == 0 {
@@ -127,16 +143,23 @@ impl Histogram {
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &n) in self.bins.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
                 if i == 0 {
+                    // Underflow bin: no finite edges to interpolate, and
+                    // every member is below 1e-15 — answer the exact min.
                     return self.min;
                 }
-                // Geometric midpoint of bin i's [lo, hi) edge pair.
+                // Rank's position within the bin's members, interpolated
+                // geometrically across the bin's quarter-decade span.
                 let lo_exp = EDGE_LO_EXP + (i as f64 - 1.0) / BINS_PER_DECADE;
-                let mid = 10f64.powf(lo_exp + 0.5 / BINS_PER_DECADE);
-                return mid.clamp(self.min, self.max);
+                let frac = (rank - seen) as f64 - 0.5;
+                let v = 10f64.powf(lo_exp + (frac / n as f64) / BINS_PER_DECADE);
+                return v.clamp(self.min, self.max);
             }
+            seen += n;
         }
         self.max
     }
@@ -306,6 +329,48 @@ mod tests {
         one.observe(0.0375);
         assert_eq!(one.quantile(0.5), 0.0375);
         assert_eq!(one.quantile(0.95), 0.0375);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_the_bin() {
+        // Hand-computed: [1, 2, 3, 4, 100] land in quarter-decade bins
+        //   1.0          -> bin with lo = 10^0.00
+        //   2.0, 3.0     -> bin with lo = 10^0.25
+        //   4.0          -> bin with lo = 10^0.50
+        //   100.0        -> bin with lo = 10^2.00
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            h.observe(v);
+        }
+        // p50 = rank 3 = 2nd of 2 members in the 10^0.25 bin, position
+        // (2 - 0.5)/2 of the span: 10^(0.25 + 0.75/4) = 10^0.4375.
+        assert!((h.quantile(0.5) - 10f64.powf(0.4375)).abs() < 1e-12);
+        // p20 = rank 1, sole member of the 10^0.00 bin, position 0.5:
+        // 10^(0 + 0.5/4) = 10^0.125 ≈ 1.334 — within the 1.78× bin bound
+        // of the true sample 1.0, and notably not the old fixed midpoint
+        // of every answer falling in this bin.
+        assert!((h.quantile(0.2) - 10f64.powf(0.125)).abs() < 1e-12);
+        // p40 = rank 2 = 1st of 2 in the 10^0.25 bin: 10^(0.25 + 0.25/4).
+        assert!((h.quantile(0.4) - 10f64.powf(0.3125)).abs() < 1e-12);
+        // Two samples in one bin interpolate toward its edges rather than
+        // both collapsing onto the midpoint: the bias the fix removes.
+        let mut two = Histogram::new();
+        two.observe(2.0);
+        two.observe(3.0);
+        let (p25, p75) = (two.quantile(0.25), two.quantile(0.75));
+        assert!(p25 < p75, "p25 {p25} vs p75 {p75}");
+        assert!((p25 - 10f64.powf(0.25 + 0.125 / 2.0)).abs() < 1e-12);
+        assert!((p75 - 10f64.powf(0.25 + 0.375 / 2.0)).abs() < 1e-12);
+        // Both answers stay within the documented 10^(1/4) ≈ 1.78× bound
+        // of *some* sample in their bin.
+        for (ans, sample) in [(p25, 2.0), (p75, 3.0)] {
+            let ratio = if ans > sample {
+                ans / sample
+            } else {
+                sample / ans
+            };
+            assert!(ratio <= 10f64.powf(0.25) + 1e-12, "{ans} vs {sample}");
+        }
     }
 
     #[test]

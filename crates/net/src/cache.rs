@@ -185,6 +185,13 @@ impl PairGainCache {
         self.ndirty > 0
     }
 
+    /// How many victims' sums currently need a rebuild. A fleet-wide gauge
+    /// for the time-series sampler: high `ndirty` means mobility or churn
+    /// has been invalidating faster than waves rebuild.
+    pub fn ndirty(&self) -> usize {
+        self.ndirty
+    }
+
     /// Pair `q`'s session died: drop it from every victim's sum.
     pub fn mark_dead(&mut self, q: usize) {
         if !self.live[q] {

@@ -96,6 +96,7 @@ use braidio_radio::{Battery, Mode, Role};
 use braidio_rfsim::geometry::Point;
 use braidio_telemetry as telemetry;
 use braidio_units::{Joules, Meters, Seconds, Watts};
+use telemetry::timeseries::{Sample, Series};
 
 /// Battery-status exchange size, bits each way over the active link (§4.2
 /// step 1: "exchange battery status").
@@ -124,6 +125,10 @@ enum Kind {
     /// Open systems only: the cooldown timer fired — retry or give up.
     CooldownDone,
 }
+
+/// Number of [`Kind`] variants — the width of the sampler's per-bucket
+/// event-rate row.
+const KIND_COUNT: usize = 7;
 
 impl Kind {
     fn rank(self) -> u64 {
@@ -258,6 +263,80 @@ pub fn run_fleet(scenario: &FleetScenario) -> FleetReport {
     sim.run()
 }
 
+/// Run a fleet scenario while sampling fleet gauges every `dt` simulated
+/// seconds (see [`telemetry::timeseries`]). The report is bit-identical to
+/// what [`run_fleet`] produces for the same scenario — the sampler only
+/// *reads* engine state from inside the serial event loop, so it perturbs
+/// nothing and inherits the loop's total order: the returned [`Series`] is
+/// byte-identical at any worker-thread count.
+///
+/// Rows land at `t = 0, dt, 2·dt, …` through the horizon inclusive; each
+/// row's instantaneous gauges describe the state *before* any event
+/// scheduled at exactly that instant runs, and its windowed gauges cover
+/// the bucket ending there. The series' `name` is left empty for the
+/// caller to label.
+pub fn run_fleet_sampled(scenario: &FleetScenario, dt: Seconds) -> (FleetReport, Series) {
+    assert!(
+        dt.seconds() > 0.0 && dt.seconds().is_finite(),
+        "sampling cadence must be positive and finite"
+    );
+    scenario.validate();
+    let mut sim = Fleet::new(scenario);
+    let (report, series) = sim.run_sampled(Some(Sampler::new(dt.seconds(), scenario.horizon)));
+    (report, series.expect("a sampler was installed"))
+}
+
+// The sampler mirrors the engine's phase and event vocabularies into the
+// telemetry row layout by index; hold the widths together at compile time.
+const _: () = assert!(PHASE_COUNT == telemetry::timeseries::SAMPLE_PHASES);
+const _: () = assert!(KIND_COUNT == telemetry::timeseries::SAMPLE_KINDS);
+
+/// In-run time-series sampler: accumulates one [`Sample`] row per `dt` of
+/// simulated time from inside the engine's serial event loop.
+struct Sampler {
+    dt: f64,
+    /// Index of the last bucket (`kmax·dt` is the final row, at or just
+    /// under the horizon; a small fudge admits cadences like `horizon/120`
+    /// whose product rounds a hair above it).
+    kmax: u64,
+    /// Next bucket to emit.
+    next_k: u64,
+    /// Cumulative delivered bits at the previous row (goodput window).
+    last_cum_bits: f64,
+    /// Events handled since the previous row, by scheduler rank.
+    kind_counts: [u32; KIND_COUNT],
+    samples: Vec<Sample>,
+    /// Scratch for battery-fraction quantiles, reused across rows.
+    scratch: Vec<f64>,
+}
+
+impl Sampler {
+    fn new(dt: f64, horizon: Seconds) -> Self {
+        let kmax = (horizon.seconds() / dt + 1e-9).floor() as u64;
+        Sampler {
+            dt,
+            kmax,
+            next_k: 0,
+            last_cum_bits: 0.0,
+            kind_counts: [0; KIND_COUNT],
+            samples: Vec::with_capacity(kmax as usize + 1),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn saw(&mut self, kind: Kind) {
+        self.kind_counts[kind.rank() as usize] += 1;
+    }
+
+    fn into_series(self) -> Series {
+        Series {
+            name: String::new(),
+            dt: self.dt,
+            samples: self.samples,
+        }
+    }
+}
+
 struct Fleet<'a> {
     sc: &'a FleetScenario,
     q: EventQueue<Ev>,
@@ -375,6 +454,15 @@ impl<'a> Fleet<'a> {
     }
 
     fn run(&mut self) -> FleetReport {
+        self.run_sampled(None).0
+    }
+
+    /// The event loop, optionally observed by a time-series [`Sampler`].
+    /// The sampler is a read-only witness: it never touches the queue or
+    /// any engine state, so the report is bit-identical with or without
+    /// it, and — because this loop is serial even under a thread pool —
+    /// its rows are byte-identical at any `--jobs`.
+    fn run_sampled(&mut self, mut sampler: Option<Sampler>) -> (FleetReport, Option<Series>) {
         telemetry::begin_unit();
         if let Some(cfg) = self.sc.churn {
             // Open system: each session is admitted at the first beacon of
@@ -428,8 +516,24 @@ impl<'a> Fleet<'a> {
                 truncated = true;
                 break;
             }
+            // Emit any bucket at or before this instant first, so each
+            // row sees the state *before* events scheduled exactly on the
+            // bucket boundary run.
+            if let Some(s) = sampler.as_mut() {
+                self.sample_until(s, ev.time.seconds());
+            }
             last = ev.time;
             self.handle(ev.event, ev.time);
+            if let Some(s) = sampler.as_mut() {
+                s.saw(ev.event.kind);
+            }
+        }
+        // Pad the series through the horizon: after the last event the
+        // fleet state is frozen, and trailing rows record that plateau.
+        if let Some(s) = sampler.as_mut() {
+            while s.next_k <= s.kmax {
+                self.sample_bucket(s);
+            }
         }
         let end_time = if truncated { self.sc.horizon } else { last };
         // Quanta still in flight at the horizon never commit: surface them
@@ -439,7 +543,7 @@ impl<'a> Fleet<'a> {
             self.abort_pending(p, end_time);
         }
         let churn = self.churn_report(end_time);
-        FleetReport {
+        let report = FleetReport {
             horizon: self.sc.horizon,
             end_time,
             events: self.q.delivered(),
@@ -462,7 +566,83 @@ impl<'a> Fleet<'a> {
             device_dead_at: self.devices.dead_at.clone(),
             device_carrier_time: self.devices.carrier_time.clone(),
             churn,
+        };
+        (report, sampler.map(Sampler::into_series))
+    }
+
+    /// Emit every bucket due at or before simulated time `t`.
+    fn sample_until(&self, s: &mut Sampler, t: f64) {
+        while s.next_k <= s.kmax && s.next_k as f64 * s.dt <= t {
+            self.sample_bucket(s);
         }
+    }
+
+    /// Emit the row for bucket `next_k` from the current engine state.
+    fn sample_bucket(&self, s: &mut Sampler) {
+        let t = s.next_k as f64 * s.dt;
+        // Occupancy: open systems report true lifecycle phases; closed
+        // scenarios have no lifecycle, so pairs map to Live until they die
+        // (their whole life is the steady state the phase models as Live).
+        let churn = self.sc.churn.is_some();
+        let mut phase_counts = [0u32; PHASE_COUNT];
+        let mut live_pairs = 0u32;
+        for p in 0..self.pairs.len() {
+            if churn {
+                let ph = self.pairs.phase[p];
+                phase_counts[ph.index()] += 1;
+                if ph.on_air() {
+                    live_pairs += 1;
+                }
+            } else if self.pairs.fsm[p].is_dead() {
+                phase_counts[LinkPhase::Dead.index()] += 1;
+            } else {
+                phase_counts[LinkPhase::Live.index()] += 1;
+                live_pairs += 1;
+            }
+        }
+        // Battery remaining fractions across devices with real batteries.
+        s.scratch.clear();
+        for (d, b) in self.devices.battery.iter().enumerate() {
+            let cap = self.sc.devices[d].battery.joules();
+            if cap > 0.0 {
+                s.scratch.push(b.remaining().joules() / cap);
+            }
+        }
+        s.scratch.sort_by(f64::total_cmp);
+        // Nearest-rank quantile over the sorted fractions (0 if no device
+        // carries a finite battery — degenerate but representable).
+        let rank = |q: f64| -> f64 {
+            if s.scratch.is_empty() {
+                0.0
+            } else {
+                s.scratch[((q * s.scratch.len() as f64).ceil() as usize).max(1) - 1]
+            }
+        };
+        let (batt_min, batt_p10, batt_p50, batt_p90) = (
+            s.scratch.first().copied().unwrap_or(0.0),
+            rank(0.10),
+            rank(0.50),
+            rank(0.90),
+        );
+        let cum_bits: f64 = self.pairs.bits.iter().sum();
+        let goodput_bps = (cum_bits - s.last_cum_bits) / s.dt;
+        s.last_cum_bits = cum_bits;
+        let events = std::mem::take(&mut s.kind_counts);
+        s.samples.push(Sample {
+            t,
+            phase_counts,
+            live_pairs,
+            batt_min,
+            batt_p10,
+            batt_p50,
+            batt_p90,
+            cum_bits,
+            goodput_bps,
+            cache_ndirty: self.gains.ndirty() as u32,
+            memo_hit_rate: self.options.hit_rate(),
+            events,
+        });
+        s.next_k += 1;
     }
 
     /// Assemble the steady-state churn metrics, `None` for closed runs.

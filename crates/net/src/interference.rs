@@ -182,12 +182,28 @@ pub type OptionsKey = (i64, i64, u8);
 #[derive(Debug, Default)]
 pub struct OptionsMemo {
     cache: std::collections::HashMap<(i64, i64, u8), OptionSet>,
+    /// Lookups that were served from the cache (single-key and batch).
+    hits: u64,
+    /// Total lookups (single-key and batch), hit or miss.
+    lookups: u64,
 }
 
 impl OptionsMemo {
     /// An empty memo.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fraction of lookups served from the cache so far, `0.0` before the
+    /// first lookup. Per-instance (unlike the global telemetry counters),
+    /// so the time-series sampler can gauge one scenario's memo without
+    /// cross-scenario bleed.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
     }
 
     /// The memo key for `(distance, interference, pin)`, or `None` when the
@@ -248,7 +264,9 @@ impl OptionsMemo {
             // the exact computation rather than inventing a grid for it.
             return options_under_pinned(ch, d, interference, pin);
         };
+        self.lookups += 1;
         if let Some(set) = self.cache.get(&key) {
+            self.hits += 1;
             braidio_telemetry::count("net.options.memo_hit");
             return *set;
         }
@@ -281,8 +299,10 @@ impl OptionsMemo {
     /// thread count.
     pub fn prefetch(&mut self, ch: &Characterization, keys: &[OptionsKey]) {
         let mut misses: Vec<OptionsKey> = Vec::new();
+        self.lookups += keys.len() as u64;
         for key in keys {
             if self.cache.contains_key(key) {
+                self.hits += 1;
                 braidio_telemetry::count("net.options.batch_hit");
             } else {
                 misses.push(*key);

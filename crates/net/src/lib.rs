@@ -61,7 +61,7 @@ pub mod scenario;
 
 pub use arbitration::Arbitration;
 pub use discovery::DiscoveryConfig;
-pub use engine::run_fleet;
+pub use engine::{run_fleet, run_fleet_sampled};
 pub use kernel::{DeviceId, EventQueue};
 pub use lifecycle::{LifecyclePolicy, LinkPhase, PhaseEvent};
 pub use metrics::{jain_fairness, ChurnReport, FleetReport};

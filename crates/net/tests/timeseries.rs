@@ -1,0 +1,142 @@
+//! Time-series sampler contract: a pure witness, thread-count invariant.
+//!
+//! PR 9 adds `run_fleet_sampled`, which snapshots fleet gauges on a fixed
+//! simulated-time grid from inside the engine's serial event loop. Two
+//! properties make it safe to ship alongside the byte-stability gates:
+//!
+//! 1. **Pure witness** — sampling must not perturb the simulation. The
+//!    report returned by `run_fleet_sampled` is compared bitwise against
+//!    `run_fleet` on the same scenario, churn fields included.
+//! 2. **Thread invariance** — the sampler runs in the serial loop, so the
+//!    rendered CSV/JSONL must be byte-identical at 1, 4 and 8 workers.
+//!
+//! Everything runs in ONE test function: `braidio_pool::with_threads`
+//! swaps the process-global worker pool, and the test harness runs
+//! sibling `#[test]` functions concurrently.
+
+use braidio_net::{run_fleet, run_fleet_sampled, Arbitration, FleetReport, FleetScenario};
+use braidio_telemetry::timeseries::{render_csv, render_jsonl, SAMPLE_PHASES};
+use braidio_units::{Meters, Seconds};
+
+/// Every field of the two reports, bit-for-bit (churn block included when
+/// present). Sampling may not move a single bit.
+fn assert_same_report(a: &FleetReport, b: &FleetReport, what: &str) {
+    assert_eq!(a.events, b.events, "{what}: event counts");
+    assert_eq!(a.replans, b.replans, "{what}: replan counts");
+    for (p, (x, y)) in a.pair_bits.iter().zip(&b.pair_bits).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: pair {p} bits");
+    }
+    for (p, (x, y)) in a.pair_dead_at.iter().zip(&b.pair_dead_at).enumerate() {
+        assert_eq!(
+            x.map(|t| t.seconds().to_bits()),
+            y.map(|t| t.seconds().to_bits()),
+            "{what}: pair {p} death time"
+        );
+    }
+    for (d, (x, y)) in a.device_spent.iter().zip(&b.device_spent).enumerate() {
+        assert_eq!(
+            x.joules().to_bits(),
+            y.joules().to_bits(),
+            "{what}: device {d} energy"
+        );
+    }
+    assert_eq!(
+        a.churn.is_some(),
+        b.churn.is_some(),
+        "{what}: churn presence"
+    );
+    if let (Some(ca), Some(cb)) = (a.churn.as_ref(), b.churn.as_ref()) {
+        assert_eq!(ca.sessions, cb.sessions, "{what}: sessions");
+        assert_eq!(ca.admitted, cb.admitted, "{what}: admitted");
+        assert_eq!(ca.departed, cb.departed, "{what}: departed");
+        assert_eq!(ca.died, cb.died, "{what}: died");
+        assert_eq!(ca.roams, cb.roams, "{what}: roams");
+        for (i, (x, y)) in ca.phase_time.iter().zip(&cb.phase_time).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: phase time {i}");
+        }
+    }
+}
+
+#[test]
+fn sampling_is_a_pure_witness_and_thread_invariant() {
+    let churn = FleetScenario::open_system(
+        2,
+        12,
+        Seconds::new(20.0),
+        42,
+        Arbitration::TdmaRoundRobin {
+            slot: Seconds::new(0.25),
+        },
+    );
+    let closed = FleetScenario::independent_pairs(
+        3,
+        Meters::new(0.5),
+        Meters::new(10.0),
+        1.0,
+        1.0,
+        Arbitration::Uncoordinated,
+    )
+    .with_horizon(Seconds::new(10.0));
+
+    for (what, sc) in [("churn", &churn), ("closed", &closed)] {
+        let dt = sc.horizon.seconds() / 40.0;
+        let baseline = run_fleet(sc);
+        let (report, series) = run_fleet_sampled(sc, Seconds::new(dt));
+
+        // Pure witness: sampling changed nothing the report can see.
+        assert_same_report(&baseline, &report, what);
+
+        // Row grid: t = k*dt for k = 0..=40, first row at t=0, last at the
+        // horizon; gauges are internally consistent at every row.
+        assert_eq!(series.samples.len(), 41, "{what}: row count");
+        assert_eq!(series.samples[0].t, 0.0, "{what}: first row time");
+        let last = series.samples.last().unwrap();
+        assert!(
+            (last.t - sc.horizon.seconds()).abs() < 1e-9,
+            "{what}: last row at t={}, horizon {}",
+            last.t,
+            sc.horizon.seconds()
+        );
+        let mut prev_bits = -1.0;
+        for (k, row) in series.samples.iter().enumerate() {
+            assert!(
+                row.cum_bits >= prev_bits,
+                "{what}: cum_bits decreased at row {k}"
+            );
+            prev_bits = row.cum_bits;
+            let occupied: u32 = row.phase_counts.iter().sum();
+            assert!(
+                (occupied as usize) <= sc.pairs.len(),
+                "{what}: row {k} counts {occupied} sessions in {} slots",
+                sc.pairs.len()
+            );
+            assert_eq!(row.phase_counts.len(), SAMPLE_PHASES);
+        }
+        // A closed fleet never admits or departs: every pair occupies a
+        // phase slot in every row.
+        if what == "closed" {
+            for row in &series.samples {
+                let occupied: u32 = row.phase_counts.iter().sum();
+                assert_eq!(occupied as usize, sc.pairs.len(), "{what}: occupancy");
+            }
+        }
+
+        // Thread invariance: the sampler lives in the serial event loop, so
+        // both renderings are byte-identical at any worker count.
+        let rendered: Vec<(String, String)> = [1usize, 4, 8]
+            .iter()
+            .map(|&threads| {
+                braidio_pool::with_threads(threads, || {
+                    let (_, mut s) = run_fleet_sampled(sc, Seconds::new(dt));
+                    s.name = format!("{what}.test");
+                    let all = [s];
+                    (render_csv(&all), render_jsonl(&all))
+                })
+            })
+            .collect();
+        for (t, (csv, jsonl)) in rendered.iter().enumerate().skip(1) {
+            assert_eq!(&rendered[0].0, csv, "{what}: CSV diverged at rung {t}");
+            assert_eq!(&rendered[0].1, jsonl, "{what}: JSONL diverged at rung {t}");
+        }
+    }
+}

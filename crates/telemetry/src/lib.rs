@@ -43,6 +43,7 @@ pub mod bus;
 pub mod event;
 pub mod sink;
 pub mod span;
+pub mod timeseries;
 
 pub use bus::{
     active, begin_unit, count, counters_snapshot, drain_thread, emit, enabled, events_snapshot,
@@ -50,7 +51,8 @@ pub use bus::{
     take_events, take_spans, with_run, Batch,
 };
 pub use event::{DeathReason, Event, ModeTag, PhaseTag, RateTag, Stamped, Track};
-pub use span::{span, Span, SpanRecord};
+pub use span::{span, Span, SpanRecord, MAX_SPAN_DEPTH};
+pub use timeseries::{Sample, Series};
 
 /// The shared unit types events are stamped with, re-exported so sinks and
 /// tests can construct timestamps without a separate dependency.

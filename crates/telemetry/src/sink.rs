@@ -278,6 +278,34 @@ pub fn render_chrome(events: &[Stamped]) -> String {
     out
 }
 
+/// Render profiling spans in the collapsed-stacks ("folded") format that
+/// flamegraph tooling consumes: one line per distinct stack path,
+/// `outer;inner <self-µs>`, paths sorted lexicographically. The value is
+/// *self* time — the path's total wall-clock microseconds minus the total
+/// of its direct children (clamped at zero, rounded to whole µs) — so box
+/// widths in a rendered flamegraph add up instead of double-counting
+/// nested spans.
+pub fn render_profile_folded(spans: &[SpanRecord]) -> String {
+    let mut total: BTreeMap<String, f64> = BTreeMap::new();
+    for s in spans {
+        *total.entry(s.stack().join(";")).or_insert(0.0) += s.dur_us;
+    }
+    // A path's direct children are the paths one frame deeper; their
+    // totals are time the parent spent inside them, not in itself.
+    let mut child_sum: BTreeMap<&str, f64> = BTreeMap::new();
+    for (path, &t) in &total {
+        if let Some(i) = path.rfind(';') {
+            *child_sum.entry(&path[..i]).or_insert(0.0) += t;
+        }
+    }
+    let mut out = String::new();
+    for (path, &t) in &total {
+        let self_us = (t - child_sum.get(path.as_str()).copied().unwrap_or(0.0)).max(0.0);
+        let _ = writeln!(out, "{path} {}", self_us.round() as u64);
+    }
+    out
+}
+
 /// Render profiling spans as Chrome trace-event JSON ("X" complete
 /// events, wall-clock microseconds since the process profiling epoch, one
 /// thread row per lane).
@@ -381,9 +409,12 @@ pub struct TraceSummary {
     pub tracks: usize,
 }
 
-/// Pull the value of `"key":` out of a rendered JSONL line. Returns string
-/// values without their quotes.
-fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+/// Pull the value of `"key":` out of a rendered schema-1 JSONL line.
+/// String values come back without their quotes; numbers, booleans and
+/// `null` come back as their raw text. Public so the offline analyzer can
+/// re-use the exact parser the validator trusts instead of growing a
+/// second one.
+pub fn parse_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":");
     let i = line.find(&pat)? + pat.len();
     let rest = &line[i..];
@@ -445,61 +476,107 @@ struct TrackState {
     phase: Option<String>,
 }
 
-/// Validate a schema-1 JSONL trace: header present, every line parses
-/// with the required identity fields, event names are in the closed set,
+/// Everything [`validate_jsonl_full`] measured about a trace, valid or
+/// not: the summary of what parsed, plus every violation found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReport {
+    /// What parsed (events with a valid identity and known name count even
+    /// when a semantic rule flags them — the analyzer still wants them).
+    pub summary: TraceSummary,
+    /// Every violation in line order, each message prefixed with its
+    /// 1-based line number (`line 7: ...`); end-of-trace checks (unreleased
+    /// carrier grants) come last without a line prefix.
+    pub violations: Vec<String>,
+}
+
+/// Validate a schema-1 JSONL trace, accumulating *every* violation instead
+/// of stopping at the first: header present, every line parses with the
+/// required identity fields, event names are in the closed set,
 /// per-identity time is monotone non-decreasing, carrier grants and
 /// releases alternate and balance per identity, `phase_change` chains are
 /// consistent (start from `init`, `from` matches the running phase, every
 /// hop legal), and phase-declaring tracks only deliver quanta in `live` or
 /// `degrade`.
-pub fn validate_jsonl(jsonl: &str) -> Result<TraceSummary, String> {
+///
+/// Recovery after a violation is local so one bad line does not cascade:
+/// an unparseable line is skipped; a backwards timestamp leaves the
+/// running high-water mark in place; a broken phase hop adopts the
+/// declared `to` phase; unbalanced grants keep the state that the majority
+/// of the evidence supports.
+pub fn validate_jsonl_full(jsonl: &str) -> TraceReport {
+    let mut violations: Vec<String> = Vec::new();
     let mut lines = jsonl.lines().enumerate();
+    let empty = TraceSummary {
+        events: 0,
+        tracks: 0,
+    };
     let Some((_, header)) = lines.next() else {
-        return Err("empty trace".into());
+        return TraceReport {
+            summary: empty,
+            violations: vec!["empty trace".into()],
+        };
     };
     if !header.contains("\"schema\":1") || !header.contains("\"stream\":\"braidio-telemetry\"") {
-        return Err(format!("bad header: {header}"));
+        return TraceReport {
+            summary: empty,
+            violations: vec![format!("bad header: {header}")],
+        };
     }
     let mut state: BTreeMap<(u32, u32, String), TrackState> = BTreeMap::new();
     let mut events = 0usize;
     for (i, line) in lines {
         let n = i + 1; // 1-based line number
         if !(line.starts_with('{') && line.ends_with('}')) {
-            return Err(format!("line {n}: not a JSON object: {line}"));
+            violations.push(format!("line {n}: not a JSON object: {line}"));
+            continue;
         }
-        let run: u32 = field(line, "run")
-            .and_then(|v| v.parse().ok())
-            .ok_or_else(|| format!("line {n}: missing/bad \"run\""))?;
-        let unit: u32 = field(line, "unit")
-            .and_then(|v| v.parse().ok())
-            .ok_or_else(|| format!("line {n}: missing/bad \"unit\""))?;
-        let track = field(line, "track")
-            .filter(|v| {
-                (v.starts_with('d') || v.starts_with('p'))
-                    && v.len() > 1
-                    && v[1..].chars().all(|c| c.is_ascii_digit())
-            })
-            .ok_or_else(|| format!("line {n}: missing/bad \"track\""))?;
-        let t: f64 = field(line, "t")
+        let run: Option<u32> = parse_field(line, "run").and_then(|v| v.parse().ok());
+        let Some(run) = run else {
+            violations.push(format!("line {n}: missing/bad \"run\""));
+            continue;
+        };
+        let unit: Option<u32> = parse_field(line, "unit").and_then(|v| v.parse().ok());
+        let Some(unit) = unit else {
+            violations.push(format!("line {n}: missing/bad \"unit\""));
+            continue;
+        };
+        let Some(track) = parse_field(line, "track").filter(|v| {
+            (v.starts_with('d') || v.starts_with('p'))
+                && v.len() > 1
+                && v[1..].chars().all(|c| c.is_ascii_digit())
+        }) else {
+            violations.push(format!("line {n}: missing/bad \"track\""));
+            continue;
+        };
+        let Some(t) = parse_field(line, "t")
             .and_then(|v| v.parse().ok())
             .filter(|t: &f64| t.is_finite() && *t >= 0.0)
-            .ok_or_else(|| format!("line {n}: missing/bad \"t\""))?;
-        let ev = field(line, "ev").ok_or_else(|| format!("line {n}: missing \"ev\""))?;
+        else {
+            violations.push(format!("line {n}: missing/bad \"t\""));
+            continue;
+        };
+        let Some(ev) = parse_field(line, "ev") else {
+            violations.push(format!("line {n}: missing \"ev\""));
+            continue;
+        };
         if !EVENT_NAMES.contains(&ev) {
-            return Err(format!("line {n}: unknown event \"{ev}\""));
+            violations.push(format!("line {n}: unknown event \"{ev}\""));
+            continue;
         }
         let entry = state.entry((run, unit, track.to_string())).or_default();
         if t < entry.last_t {
-            return Err(format!(
+            violations.push(format!(
                 "line {n}: time went backwards on ({run},{unit},{track}): {t} < {}",
                 entry.last_t
             ));
+            // Keep the high-water mark: later events at legal times pass.
+        } else {
+            entry.last_t = t;
         }
-        entry.last_t = t;
         match ev {
             "carrier_grant" => {
                 if entry.carrier_held {
-                    return Err(format!(
+                    violations.push(format!(
                         "line {n}: carrier_grant while already granted on ({run},{unit},{track})"
                     ));
                 }
@@ -507,36 +584,43 @@ pub fn validate_jsonl(jsonl: &str) -> Result<TraceSummary, String> {
             }
             "carrier_release" => {
                 if !entry.carrier_held {
-                    return Err(format!(
+                    violations.push(format!(
                         "line {n}: carrier_release without a grant on ({run},{unit},{track})"
                     ));
                 }
                 entry.carrier_held = false;
             }
             "phase_change" => {
-                let from = field(line, "from")
-                    .ok_or_else(|| format!("line {n}: phase_change missing \"from\""))?;
-                let to = field(line, "to")
-                    .ok_or_else(|| format!("line {n}: phase_change missing \"to\""))?;
+                let from = parse_field(line, "from");
+                let to = parse_field(line, "to");
+                let (Some(from), Some(to)) = (from, to) else {
+                    violations.push(format!(
+                        "line {n}: phase_change missing \"{}\"",
+                        if from.is_none() { "from" } else { "to" }
+                    ));
+                    continue;
+                };
                 let current = entry.phase.as_deref().unwrap_or("init");
                 if from != current {
-                    return Err(format!(
+                    violations.push(format!(
                         "line {n}: phase chain broken on ({run},{unit},{track}): \
                          from \"{from}\" but track is in \"{current}\""
                     ));
                 }
                 if !PHASE_HOPS.contains(&(from, to)) {
-                    return Err(format!(
+                    violations.push(format!(
                         "line {n}: illegal phase transition \"{from}\" -> \"{to}\" \
                          on ({run},{unit},{track})"
                     ));
                 }
+                // Adopt the declared destination either way so one broken
+                // hop does not flag every later hop in the chain.
                 entry.phase = Some(to.to_string());
             }
             "quantum_delivered" => {
                 if let Some(phase) = entry.phase.as_deref() {
                     if phase != "live" && phase != "degrade" {
-                        return Err(format!(
+                        violations.push(format!(
                             "line {n}: quantum_delivered in phase \"{phase}\" \
                              on ({run},{unit},{track})"
                         ));
@@ -544,11 +628,11 @@ pub fn validate_jsonl(jsonl: &str) -> Result<TraceSummary, String> {
                 }
             }
             "admitted" => {
-                let ok = field(line, "latency")
+                let ok = parse_field(line, "latency")
                     .and_then(|v| v.parse::<f64>().ok())
                     .is_some_and(|l| l.is_finite() && l >= 0.0);
                 if !ok {
-                    return Err(format!("line {n}: missing/bad \"latency\""));
+                    violations.push(format!("line {n}: missing/bad \"latency\""));
                 }
             }
             _ => {}
@@ -557,15 +641,30 @@ pub fn validate_jsonl(jsonl: &str) -> Result<TraceSummary, String> {
     }
     for ((run, unit, track), st) in &state {
         if st.carrier_held {
-            return Err(format!(
+            violations.push(format!(
                 "unreleased carrier_grant on ({run},{unit},{track})"
             ));
         }
     }
-    Ok(TraceSummary {
-        events,
-        tracks: state.len(),
-    })
+    TraceReport {
+        summary: TraceSummary {
+            events,
+            tracks: state.len(),
+        },
+        violations,
+    }
+}
+
+/// Validate a schema-1 JSONL trace (see [`validate_jsonl_full`] for the
+/// rule set). Returns the summary when clean; otherwise an error joining
+/// every violation found, one per line.
+pub fn validate_jsonl(jsonl: &str) -> Result<TraceSummary, String> {
+    let report = validate_jsonl_full(jsonl);
+    if report.violations.is_empty() {
+        Ok(report.summary)
+    } else {
+        Err(report.violations.join("\n"))
+    }
 }
 
 /// Fold every `EnergyDebit` in stream order into a per-`(run, track)`
@@ -582,6 +681,43 @@ pub fn fold_energy(events: &[Stamped]) -> BTreeMap<(u32, Track), f64> {
         }
     }
     ledger
+}
+
+/// Fold the `energy_debit` lines of a schema-1 JSONL trace into a
+/// per-`(run, track)` ledger, returning `(plain, compensated)` joules per
+/// identity: `plain` is the naive stream-order sum (the same order the
+/// engine's `spent` accumulator used), `compensated` is a Kahan sum over
+/// the identical stream. The offline analyzer compares the two — a
+/// relative gap beyond ~1e-9 means the plain fold lost precision, i.e. the
+/// trace's debits cannot reproduce the engine's ledger bit-for-bit, which
+/// it flags as ledger drift. Lines that do not parse are skipped (run the
+/// validator for diagnostics).
+pub fn fold_energy_jsonl(jsonl: &str) -> BTreeMap<(u32, String), (f64, f64)> {
+    // value = (plain sum, kahan sum, kahan compensation)
+    let mut ledger: BTreeMap<(u32, String), (f64, f64, f64)> = BTreeMap::new();
+    for line in jsonl.lines().skip(1) {
+        if parse_field(line, "ev") != Some("energy_debit") {
+            continue;
+        }
+        let run: Option<u32> = parse_field(line, "run").and_then(|v| v.parse().ok());
+        let track = parse_field(line, "track");
+        let joules: Option<f64> = parse_field(line, "joules").and_then(|v| v.parse().ok());
+        let (Some(run), Some(track), Some(j)) = (run, track, joules) else {
+            continue;
+        };
+        let e = ledger
+            .entry((run, track.to_string()))
+            .or_insert((0.0, 0.0, 0.0));
+        e.0 += j;
+        let y = j - e.2;
+        let t = e.1 + y;
+        e.2 = (t - e.1) - y;
+        e.1 = t;
+    }
+    ledger
+        .into_iter()
+        .map(|(k, (plain, kahan, _))| (k, (plain, kahan)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -828,15 +964,68 @@ mod tests {
 
     #[test]
     fn profile_chrome_renders_complete_events() {
-        let spans = [SpanRecord {
-            name: "net.replan",
-            lane: 2,
-            start_us: 10.0,
-            dur_us: 1.5,
-        }];
+        let spans = [SpanRecord::leaf("net.replan", 2, 10.0, 1.5)];
         let out = render_profile_chrome(&spans);
         assert!(out.contains("\"ph\":\"X\""));
         assert!(out.contains("\"tid\":2"));
         assert!(out.contains("\"dur\":1.5"));
+    }
+
+    #[test]
+    fn folded_profile_attributes_self_time() {
+        // One pool.chunk instance spent 100µs, of which 60µs inside
+        // net.replan, of which 25µs inside net.wave; plus a second bare
+        // chunk at 40µs. Self times: chunk 100-60+40=80, replan 35, wave 25.
+        let nested = SpanRecord::leaf("pool.chunk", 0, 0.0, 100.0);
+        let mut replan = SpanRecord::leaf("net.replan", 0, 5.0, 60.0);
+        replan.path = ["pool.chunk", "net.replan", "", ""];
+        replan.depth = 2;
+        let mut wave = SpanRecord::leaf("net.wave", 0, 10.0, 25.0);
+        wave.path = ["pool.chunk", "net.replan", "net.wave", ""];
+        wave.depth = 3;
+        let bare = SpanRecord::leaf("pool.chunk", 1, 200.0, 40.0);
+        let out = render_profile_folded(&[wave, replan, nested, bare]);
+        assert_eq!(
+            out,
+            "pool.chunk 80\npool.chunk;net.replan 35\npool.chunk;net.replan;net.wave 25\n"
+        );
+    }
+
+    #[test]
+    fn validator_accumulates_every_violation() {
+        let jsonl = "{\"schema\":1,\"stream\":\"braidio-telemetry\",\"time\":\"simulated-seconds\"}\n\
+            {\"run\":0,\"unit\":0,\"track\":\"p0\",\"t\":1,\"ev\":\"carrier_grant\"}\n\
+            {\"run\":0,\"unit\":0,\"track\":\"p0\",\"t\":0.5,\"ev\":\"replan\",\"planned\":true,\"exact\":true,\"primary\":null}\n\
+            {\"run\":0,\"unit\":0,\"track\":\"p0\",\"t\":2,\"ev\":\"surprise\"}\n\
+            {\"run\":0,\"unit\":0,\"track\":\"p0\",\"t\":3,\"ev\":\"carrier_grant\"}\n";
+        let report = validate_jsonl_full(jsonl);
+        // Backwards time + unknown event + double grant + unreleased at end.
+        assert_eq!(report.violations.len(), 4, "{:?}", report.violations);
+        assert!(
+            report.violations[0].contains("line 3: "),
+            "{:?}",
+            report.violations
+        );
+        assert!(report.violations[0].contains("backwards"));
+        assert!(report.violations[1].contains("line 4: "));
+        assert!(report.violations[1].contains("unknown event"));
+        assert!(report.violations[2].contains("line 5: "));
+        assert!(report.violations[2].contains("already granted"));
+        assert!(report.violations[3].contains("unreleased"));
+        // The parseable lines still counted.
+        assert_eq!(report.summary.events, 3);
+        // The Err wrapper joins them all.
+        let err = validate_jsonl(jsonl).unwrap_err();
+        assert_eq!(err.lines().count(), 4);
+    }
+
+    #[test]
+    fn jsonl_energy_fold_matches_event_fold() {
+        let jsonl = render_jsonl(&sample());
+        let ledger = fold_energy_jsonl(&jsonl);
+        assert_eq!(ledger.len(), 1);
+        let (plain, kahan) = ledger[&(3, "d1".to_string())];
+        assert_eq!(plain, 0.375);
+        assert_eq!(kahan, 0.375);
     }
 }
