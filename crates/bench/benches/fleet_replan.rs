@@ -13,10 +13,11 @@
 //! same computation. The EXPERIMENTS.md large-fleet table quotes the
 //! 64-pair wave numbers from here.
 
+use braidio_mac::coexistence::ChannelRelation;
 use braidio_net::cache::PairGainCache;
 use braidio_net::interference::{
     carrier_contribution, interference_at, options_under, options_under_batch, CarrierSource,
-    OptionsKey, OptionsMemo,
+    EdgeKernel, OptionsKey, OptionsMemo, EDGE_TILE,
 };
 use braidio_net::{run_fleet, Arbitration, FleetScenario};
 use braidio_radio::Mode;
@@ -166,6 +167,69 @@ fn bench_interference_wave(c: &mut Criterion) {
     });
 }
 
+fn bench_edge_kernel(c: &mut Criterion) {
+    // The per-edge transcendental story (DESIGN.md §15): one EDGE_TILE-wide
+    // sweep of grid edges through the direct dB path (one log10 + four powf
+    // per edge) vs the memoized kernel (exact FSPL table lookup + four
+    // cached-constant multiplies). `direct` is the pre-memo cost; `memo_cold`
+    // builds a fresh kernel every iteration, so every lookup misses and runs
+    // the canonical evaluation plus the table insert; `memo_warm` is the
+    // steady state every rebuild wave after the first sees — all hits. The
+    // EXPERIMENTS.md edges/s column divides EDGE_TILE by these arm times.
+    // All arms compute bit-identical powers (kernel equality tests and the
+    // edge-kernel proptests pin this).
+    let sc = scale_scenario(Arbitration::Uncoordinated);
+    let victim = sc.devices[sc.pairs[0].rx].pos;
+    let mut a = [sc.devices[0].pos; EDGE_TILE];
+    let mut b = [sc.devices[0].pos; EDGE_TILE];
+    let mut rel = [ChannelRelation::CoChannel; EDGE_TILE];
+    for (i, slot) in a.iter_mut().enumerate() {
+        let qp = &sc.pairs[i % sc.pairs.len()];
+        *slot = sc.devices[qp.tx].pos;
+        b[i] = sc.devices[qp.rx].pos;
+        rel[i] = sc.arbitration.relation(0, i % sc.pairs.len());
+    }
+    let mut out = [braidio_units::Watts::ZERO; EDGE_TILE];
+    c.bench_function("fleet_replan/edge_kernel/direct/64", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..EDGE_TILE {
+                let pos = if a[i].distance(victim) <= b[i].distance(victim) {
+                    a[i]
+                } else {
+                    b[i]
+                };
+                acc += carrier_contribution(
+                    &sc.ch,
+                    victim,
+                    &CarrierSource {
+                        pos,
+                        rf: sc.ch.carrier_rf,
+                        relation: rel[i],
+                    },
+                )
+                .watts();
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("fleet_replan/edge_kernel/memo_cold/64", |bch| {
+        bch.iter(|| {
+            let kernel = EdgeKernel::new(&sc.ch);
+            kernel.carrier_tile(victim, &a, &b, &rel, &mut out);
+            black_box(out[EDGE_TILE - 1])
+        })
+    });
+    let warm = EdgeKernel::new(&sc.ch);
+    warm.carrier_tile(victim, &a, &b, &rel, &mut out);
+    c.bench_function("fleet_replan/edge_kernel/memo_warm/64", |bch| {
+        bch.iter(|| {
+            warm.carrier_tile(victim, black_box(&a), &b, &rel, &mut out);
+            black_box(out[EDGE_TILE - 1])
+        })
+    });
+}
+
 fn bench_options(c: &mut Criterion) {
     let sc = scale_scenario(Arbitration::Uncoordinated);
     let d = Meters::new(0.5);
@@ -279,6 +343,7 @@ fn bench_full_scenario(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_interference_wave,
+    bench_edge_kernel,
     bench_options,
     bench_thread_sweep,
     bench_full_scenario

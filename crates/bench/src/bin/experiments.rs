@@ -234,11 +234,11 @@ fn write_or_die(path: &str, contents: &str) {
     }
 }
 
-/// Render the timing report as JSON (schema 6, stable):
+/// Render the timing report as JSON (schema 7, stable):
 ///
 /// ```json
 /// {
-///   "schema": 6,
+///   "schema": 7,
 ///   "git_sha": "<HEAD sha or \"unknown\">",
 ///   "threads": 4,
 ///   "threads_source": "jobs-flag",
@@ -276,7 +276,14 @@ fn write_or_die(path: &str, contents: &str) {
 /// (scenario name, row count, sampling interval, peak windowed goodput,
 /// and the final live-pair/cumulative-bit gauges). The array is empty
 /// when `--timeseries` was not given, so pre-existing consumers see the
-/// same report plus one constant key.
+/// same report plus one constant key. Schema 7 marks the memoized edge
+/// kernel: the fleet rungs record steady-state edge throughput
+/// (`fleet.{scale,city,churn}.edges_per_s` — recomputed interference
+/// edges per second of planning-wave wall-clock) through `metrics`, and
+/// the `counters` array now carries the exact-FSPL-memo hit/miss totals
+/// (`net.fspl.hit` / `net.fspl.miss`; tile- and thread-count-dependent
+/// diagnostics, not simulated quantities). Report shape and every
+/// pre-existing key are unchanged.
 ///
 /// Written by hand (no serde in the workspace); experiment, metric and
 /// series names are lowercase identifiers, so no JSON string escaping is
@@ -284,7 +291,7 @@ fn write_or_die(path: &str, contents: &str) {
 fn bench_json(timings: &[(&str, f64)], series: &[telemetry::timeseries::Series]) -> String {
     let total: f64 = timings.iter().map(|(_, s)| s).sum();
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 6,\n");
+    out.push_str("  \"schema\": 7,\n");
     out.push_str(&format!("  \"git_sha\": \"{}\",\n", git_sha()));
     out.push_str(&format!(
         "  \"threads\": {},\n",
@@ -537,7 +544,7 @@ fn usage() {
     eprintln!("                  results are identical at any thread count)");
     eprintln!("  --scale N      run 'fleet' as the large-fleet scale family:");
     eprintln!("                 N pairs on a room grid under every arbitration");
-    eprintln!("                  policy (256/1024/4096/10000 are the benched");
+    eprintln!("                  policy (256/1024/4096/10000/100000 are the benched");
     eprintln!("                  rungs; any N >= 1 works — the grid is ceil(sqrt N)");
     eprintln!("                  columns wide, filled row-major, so a non-square N");
     eprintln!("                  leaves the last row partial; the effective shape");
@@ -554,13 +561,16 @@ fn usage() {
     eprintln!("                  results are identical at any thread count)");
     eprintln!("  --timing       per-experiment wall-clock report on stderr");
     eprintln!("  --bench-json PATH");
-    eprintln!("                 write the timing report as JSON (schema 6:");
+    eprintln!("                 write the timing report as JSON (schema 7:");
     eprintln!("                  git sha, thread count and where it came from");
     eprintln!("                  (jobs-flag/env/auto), per-experiment seconds,");
-    eprintln!("                  recorded headline metrics, histogram metrics —");
+    eprintln!("                  recorded headline metrics — including the fleet");
+    eprintln!("                  edges_per_s throughput — histogram metrics —");
     eprintln!("                  including the --churn admission-latency, phase-");
     eprintln!("                  occupancy and session counters — telemetry");
-    eprintln!("                  counters, and per-series --timeseries summaries)");
+    eprintln!("                  counters (with the net.fspl.hit/miss memo");
+    eprintln!("                  diagnostics), and per-series --timeseries");
+    eprintln!("                  summaries)");
     eprintln!("  --trace-events PATH");
     eprintln!("                 capture the simulated-time event trace and write");
     eprintln!("                  it as schema-versioned JSONL (byte-identical at");

@@ -40,6 +40,19 @@ pub enum ChannelRelation {
 }
 
 impl ChannelRelation {
+    /// Every relation, in `index()` order.
+    pub const ALL: [ChannelRelation; 3] = [
+        ChannelRelation::CoChannel,
+        ChannelRelation::AdjacentChannel,
+        ChannelRelation::OutOfBand,
+    ];
+
+    /// A dense index (0..3) for table lookups, matching [`Self::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// The fraction of the arriving carrier power that acts as detector
     /// noise.
     pub fn noise_coupling(self) -> Decibels {
@@ -48,6 +61,21 @@ impl ChannelRelation {
             ChannelRelation::AdjacentChannel => Decibels::new(0.0),
             ChannelRelation::OutOfBand => Decibels::new(-30.0),
         }
+    }
+
+    /// `noise_coupling().linear()`, computed once per process.
+    ///
+    /// The three coupling figures are compile-time constants, but
+    /// `Decibels::linear` is a `powf` — too expensive to pay per
+    /// interference edge. The table is initialized by running the exact
+    /// same `noise_coupling().linear()` conversions once, so every lookup
+    /// returns the identical bits the direct call would produce.
+    #[inline]
+    pub fn noise_coupling_linear(self) -> f64 {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<[f64; 3]> = OnceLock::new();
+        TABLE.get_or_init(|| ChannelRelation::ALL.map(|r| r.noise_coupling().linear()))
+            [self.index()]
     }
 }
 
@@ -190,6 +218,18 @@ impl Coexistence {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn noise_coupling_linear_matches_direct_bitwise() {
+        for (i, r) in ChannelRelation::ALL.into_iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(
+                r.noise_coupling_linear().to_bits(),
+                r.noise_coupling().linear().to_bits(),
+                "{r:?}"
+            );
+        }
+    }
 
     #[test]
     fn penalty_shrinks_with_interferer_distance() {

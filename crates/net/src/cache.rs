@@ -37,6 +37,18 @@
 //! order), so a planning wave scales across cores without changing a bit
 //! — see DESIGN.md §12.
 //!
+//! **Tiled sweep.** Every path funnels into one accumulation loop
+//! (the private `rebuild_one_tiled`) that gathers a victim's accepted
+//! sources into [`EDGE_TILE`]-wide index tiles and hands each tile to the
+//! edge kernel in one call ([`PairGainCache::rebuild_all_tiled`] passes
+//! the engine's batched `EdgeKernel::carrier_tile`; the scalar
+//! `rebuild_all`/`interference` entry points adapt per-edge closures onto
+//! the same loop). Tiling changes *batching only*: edges are still
+//! evaluated and accumulated serially in pair-index order, so the sums are
+//! bit-identical to the scalar walk — what it buys is one FSPL-memo lock
+//! acquisition per tile instead of per edge, and flat arrays the kernel's
+//! distance pass can vectorize over.
+//!
 //! **Far-field cull.** Optionally, a spatial grid drops sources whose
 //! contribution is provably below [`CULL_EPS_REL`] of the smallest detector
 //! noise floor ([`cull_epsilon`]): free-space decay gives a closed-form
@@ -49,6 +61,7 @@
 //! are byte-identical; the machinery matters for geographically dispersed
 //! scenarios and is validated against brute force at any cutoff.
 
+use crate::interference::EDGE_TILE;
 use braidio_mac::coexistence::ChannelRelation;
 use braidio_radio::characterization::{Characterization, Rate};
 use braidio_radio::Mode;
@@ -299,6 +312,38 @@ impl PairGainCache {
         P: Fn(usize) -> (Point, Point),
         E: Fn(usize, usize) -> Watts + Sync,
     {
+        // Scalar adapter over the tiled sweep: fill each tile lane with the
+        // per-edge closure, in lane order — the identical edge evaluation
+        // and accumulation sequence, so existing callers move no bits.
+        self.rebuild_all_tiled(keep, endpoints, |v, qs: &[u32], out: &mut [Watts]| {
+            for (o, &q) in out.iter_mut().zip(qs) {
+                *o = edge(v, q as usize);
+            }
+        });
+    }
+
+    /// The tiled form of [`rebuild_all`](Self::rebuild_all): the engine's
+    /// wave sweep passes a tile kernel `edge_tile(v, qs, out)` that fills
+    /// `out[i]` with source `qs[i]`'s contribution at victim `v` (at most
+    /// [`EDGE_TILE`] lanes per call, `qs` ascending in pair-index order).
+    /// The cache gathers each victim's accepted sources into index tiles,
+    /// invokes the kernel per tile, and accumulates the returned
+    /// contributions serially in lane order — so the noncoherent sum is
+    /// performed in exactly the per-edge pair-index order of the scalar
+    /// path, whatever the kernel vectorizes internally.
+    ///
+    /// The victim fan-out runs on the work pool: each selected victim's sum
+    /// is an independent pure function of the (frozen-for-the-wave)
+    /// geometry, computed by the shared per-victim loop and written back in
+    /// victim index order — so the result is identical at any thread count,
+    /// and `edge_tile` must be `Fn + Sync` (pure geometry, which every
+    /// caller passes anyway).
+    pub fn rebuild_all_tiled<K, P, E>(&mut self, keep: K, endpoints: P, edge_tile: E)
+    where
+        K: Fn(usize) -> bool,
+        P: Fn(usize) -> (Point, Point),
+        E: Fn(usize, &[u32], &mut [Watts]) + Sync,
+    {
         if self.ndirty == 0 {
             return;
         }
@@ -319,7 +364,8 @@ impl PairGainCache {
             |i| {
                 let v = victims[i];
                 telemetry::count("net.interference.sum_rebuild");
-                Self::rebuild_one(v, n, live, cull, |q| edge(v, q)).watts()
+                Self::rebuild_one_tiled(v, n, live, cull, &mut |qs, out| edge_tile(v, qs, out))
+                    .watts()
             },
         );
         for (&v, s) in victims.iter().zip(sums) {
@@ -329,10 +375,10 @@ impl PairGainCache {
         }
     }
 
-    /// One victim's sum: live sources in pair-index order (the cull's
-    /// candidate lists are sorted, so the culled walk keeps that order).
-    /// This is the single accumulation loop both the lazy and bulk paths
-    /// share — the bitwise contract lives here.
+    /// Scalar per-edge entry to the shared loop, used by the lazy
+    /// [`interference`](Self::interference) path: each tile lane is filled
+    /// by one `edge(q)` call in lane order, so the edge evaluation sequence
+    /// is exactly the pre-tiling one.
     fn rebuild_one(
         victim: usize,
         n: usize,
@@ -340,29 +386,70 @@ impl PairGainCache {
         cull: &Option<Cull>,
         mut edge: impl FnMut(usize) -> Watts,
     ) -> Watts {
-        let mut acc = Watts::new(0.0);
-        let mut add = |q: usize| {
-            if q == victim || !live[q] {
-                return;
+        Self::rebuild_one_tiled(victim, n, live, cull, &mut |qs, out| {
+            for (o, &q) in out.iter_mut().zip(qs) {
+                *o = edge(q as usize);
             }
-            telemetry::count("net.interference.edge_recompute");
-            acc += edge(q);
-        };
-        match cull {
-            Some(c) if !c.all => {
-                for &q in &c.near[victim] {
-                    add(q as usize);
-                }
-            }
-            // No cull, or a cull whose cutoff covers the whole scene: the
-            // full pair-index walk (identical order either way).
-            _ => {
-                for q in 0..n {
-                    add(q);
-                }
+        })
+    }
+
+    /// One victim's sum: live sources in pair-index order (the cull's
+    /// candidate lists are sorted, so the culled walk keeps that order),
+    /// gathered into [`EDGE_TILE`]-wide index tiles for the edge kernel and
+    /// accumulated serially in lane order. This is the single accumulation
+    /// loop the lazy, bulk-scalar and bulk-tiled paths all share — the
+    /// bitwise contract lives here.
+    fn rebuild_one_tiled(
+        victim: usize,
+        n: usize,
+        live: &[bool],
+        cull: &Option<Cull>,
+        edge_tile: &mut impl FnMut(&[u32], &mut [Watts]),
+    ) -> Watts {
+        fn flush<F: FnMut(&[u32], &mut [Watts])>(
+            qs: &[u32],
+            ws: &mut [Watts],
+            edge_tile: &mut F,
+            acc: &mut Watts,
+        ) {
+            telemetry::count_by("net.interference.edge_recompute", qs.len() as u64);
+            edge_tile(qs, ws);
+            // The noncoherent sum stays serial, in pair-index order.
+            for w in ws.iter() {
+                *acc += *w;
             }
         }
-        acc
+        fn sweep<I, F>(candidates: I, victim: usize, live: &[bool], edge_tile: &mut F) -> Watts
+        where
+            I: Iterator<Item = u32>,
+            F: FnMut(&[u32], &mut [Watts]),
+        {
+            let mut acc = Watts::new(0.0);
+            let mut qs = [0u32; EDGE_TILE];
+            let mut ws = [Watts::ZERO; EDGE_TILE];
+            let mut fill = 0usize;
+            for q in candidates {
+                if q as usize == victim || !live[q as usize] {
+                    continue;
+                }
+                qs[fill] = q;
+                fill += 1;
+                if fill == EDGE_TILE {
+                    flush(&qs, &mut ws, edge_tile, &mut acc);
+                    fill = 0;
+                }
+            }
+            if fill > 0 {
+                flush(&qs[..fill], &mut ws[..fill], edge_tile, &mut acc);
+            }
+            acc
+        }
+        match cull {
+            Some(c) if !c.all => sweep(c.near[victim].iter().copied(), victim, live, edge_tile),
+            // No cull, or a cull whose cutoff covers the whole scene: the
+            // full pair-index walk (identical order either way).
+            _ => sweep(0..n as u32, victim, live, edge_tile),
+        }
     }
 }
 
@@ -590,6 +677,35 @@ mod tests {
         let a = bulk.interference(7, |q| eps[q], edge_fn(&eps, 7));
         let b = lazy.interference(7, |q| eps[q], edge_fn(&eps, 7));
         assert_eq!(a.watts().to_bits(), b.watts().to_bits());
+    }
+
+    #[test]
+    fn tiled_rebuild_matches_scalar_bitwise() {
+        // A tile kernel that fills lanes with the scalar physics must land
+        // on exactly the scalar sums, across tile-boundary sizes (n-1
+        // sources: one short tile, exactly EDGE_TILE, full + remainder).
+        for n in [5, EDGE_TILE + 1, 2 * EDGE_TILE + 7] {
+            let eps = layout(n, 1.5);
+            let mut tiled = PairGainCache::new(n);
+            let mut scalar = PairGainCache::new(n);
+            tiled.rebuild_all_tiled(
+                |_| true,
+                |q| eps[q],
+                |v, qs: &[u32], out: &mut [Watts]| {
+                    assert!(qs.len() <= EDGE_TILE && qs.len() == out.len());
+                    let edge = edge_fn(&eps, v);
+                    for (o, &q) in out.iter_mut().zip(qs) {
+                        *o = edge(q as usize);
+                    }
+                },
+            );
+            scalar.rebuild_all(|_| true, |q| eps[q], |v, q| edge_fn(&eps, v)(q));
+            for v in 0..n {
+                let a = tiled.cached_sum(v).expect("tiled sweep cleaned all");
+                let b = scalar.cached_sum(v).expect("scalar sweep cleaned all");
+                assert_eq!(a.watts().to_bits(), b.watts().to_bits(), "victim {v}/{n}");
+            }
+        }
     }
 
     #[test]

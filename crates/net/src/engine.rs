@@ -80,11 +80,12 @@
 
 use crate::arbitration::Arbitration;
 use crate::cache::{far_field_cutoff, PairGainCache};
-use crate::interference::{carrier_contribution, CarrierSource, OptionsKey, OptionsMemo};
+use crate::interference::{EdgeKernel, OptionsKey, OptionsMemo, EDGE_TILE};
 use crate::kernel::EventQueue;
 use crate::lifecycle::{self, LinkPhase, PhaseEvent, PHASE_COUNT};
 use crate::metrics::{ChurnReport, FleetReport};
 use crate::scenario::FleetScenario;
+use braidio_mac::coexistence::ChannelRelation;
 use braidio_mac::fsm::{Event as FsmEvent, OffloadFsm, State as FsmState};
 use braidio_mac::mobility::MobilityTrace;
 use braidio_mac::offload::{solve_memo, OffloadPlan};
@@ -353,6 +354,15 @@ struct Fleet<'a> {
     /// Scratch for the wave sweep's key collection; capacity is retained
     /// across waves so steady-state sweeps stay allocation-free.
     wave_keys: Vec<OptionsKey>,
+    /// The transcendental-starved interference edge kernel: cached
+    /// dB→linear constants plus the exact FSPL memo, shared by the bulk
+    /// wave sweep, the lazy dirty-sum path and the debug shadow check —
+    /// the single arithmetic definition of a fleet edge.
+    edges: EdgeKernel,
+    /// Scratch for the wave sweep's endpoint gather (`pos[tx[q]]`,
+    /// `pos[rx[q]]` flattened per wave); capacity retained across waves.
+    wave_a: Vec<Point>,
+    wave_b: Vec<Point>,
     /// Open-system accumulators (untouched when `sc.churn` is `None`).
     /// Session-seconds per phase, indexed by [`LinkPhase::index`].
     phase_time: [f64; PHASE_COUNT],
@@ -434,7 +444,10 @@ impl<'a> Fleet<'a> {
         }
         Fleet {
             sc,
-            q: EventQueue::new(),
+            // The bring-up schedules up to two events per pair before the
+            // first one drains (churn: Associate + Departure), so size the
+            // heap once instead of regrowing it mid-run.
+            q: EventQueue::with_capacity(2 * n),
             devices,
             pairs,
             replans: 0,
@@ -442,6 +455,9 @@ impl<'a> Fleet<'a> {
             options: OptionsMemo::new(),
             wave_cold: true,
             wave_keys: Vec::new(),
+            edges: EdgeKernel::new(&sc.ch),
+            wave_a: Vec::new(),
+            wave_b: Vec::new(),
             phase_time: [0.0; PHASE_COUNT],
             departed: 0,
             died: 0,
@@ -1127,27 +1143,31 @@ impl<'a> Fleet<'a> {
             }
         };
         if needs_gains {
-            self.gains.rebuild_all(
+            // Gather the wave's frozen endpoint geometry into flat arrays
+            // once (pos[tx[q]] / pos[rx[q]] indexed by pair id), so the
+            // per-tile hot loop is a contiguous gather instead of a
+            // double-indirection per edge.
+            self.wave_a.clear();
+            self.wave_b.clear();
+            self.wave_a.extend(tx.iter().map(|&d| pos[d]));
+            self.wave_b.extend(rx.iter().map(|&d| pos[d]));
+            let (pa, pb) = (&self.wave_a, &self.wave_b);
+            let edges = &self.edges;
+            self.gains.rebuild_all_tiled(
                 |v| !mobile[v] && on_air(v),
-                |q| (pos[tx[q]], pos[rx[q]]),
-                |v, q| {
-                    let vp = pos[rx[v]];
-                    let a = pos[tx[q]];
-                    let b = pos[rx[q]];
-                    let src = if a.distance(vp) <= b.distance(vp) {
-                        a
-                    } else {
-                        b
-                    };
-                    carrier_contribution(
-                        &sc.ch,
-                        vp,
-                        &CarrierSource {
-                            pos: src,
-                            rf: sc.ch.carrier_rf,
-                            relation: sc.arbitration.relation(v, q),
-                        },
-                    )
+                |q| (pa[q], pb[q]),
+                |v, qs: &[u32], out: &mut [Watts]| {
+                    let vp = pb[v];
+                    let mut a = [Point::new(0.0, 0.0); EDGE_TILE];
+                    let mut b = [Point::new(0.0, 0.0); EDGE_TILE];
+                    let mut rel = [ChannelRelation::CoChannel; EDGE_TILE];
+                    let k = qs.len();
+                    for (i, &q) in qs.iter().enumerate() {
+                        a[i] = pa[q as usize];
+                        b[i] = pb[q as usize];
+                        rel[i] = sc.arbitration.relation(v, q as usize);
+                    }
+                    edges.carrier_tile(vp, &a[..k], &b[..k], &rel[..k], out);
                 },
             );
         }
@@ -1401,25 +1421,16 @@ impl<'a> Fleet<'a> {
         let pos = &self.devices.pos;
         let (ptx, prx) = (&self.pairs.tx, &self.pairs.rx);
         let victim = pos[prx[p]];
+        let edges = &self.edges;
         let w = self.gains.interference(
             p,
             |q| (pos[ptx[q]], pos[prx[q]]),
             |q| {
-                let a = pos[ptx[q]];
-                let b = pos[prx[q]];
-                let src = if a.distance(victim) <= b.distance(victim) {
-                    a
-                } else {
-                    b
-                };
-                carrier_contribution(
-                    &sc.ch,
+                edges.carrier_from_pair(
                     victim,
-                    &CarrierSource {
-                        pos: src,
-                        rf: sc.ch.carrier_rf,
-                        relation: sc.arbitration.relation(p, q),
-                    },
+                    pos[ptx[q]],
+                    pos[prx[q]],
+                    sc.arbitration.relation(p, q),
                 )
             },
         );
@@ -1432,7 +1443,12 @@ impl<'a> Fleet<'a> {
     /// brute-force way (full rescan, no cull, pair-index order) and check
     /// the cached answer against it — bit-equal without the cull, within
     /// `pairs × cull_epsilon` with it. Also asserts the cache's liveness
-    /// view matches the FSMs.
+    /// view matches the FSMs. The rescan runs through the same
+    /// [`EdgeKernel::carrier_from_pair`] the cache paths use — one
+    /// arithmetic definition of an edge — so what this checks is liveness,
+    /// ordering and cache bookkeeping; the kernel's own equality to the
+    /// direct `carrier_contribution` path is pinned by the `net::baseline`
+    /// oracle and the interference proptests.
     #[cfg(debug_assertions)]
     fn shadow_check(&self, p: usize, got: Watts) {
         let churn = self.sc.churn.is_some();
@@ -1454,21 +1470,11 @@ impl<'a> Fleet<'a> {
             if qi == p || !on_air(qi) {
                 continue;
             }
-            let a = self.devices.pos[self.pairs.tx[qi]];
-            let b = self.devices.pos[self.pairs.rx[qi]];
-            let pos = if a.distance(victim) <= b.distance(victim) {
-                a
-            } else {
-                b
-            };
-            brute += carrier_contribution(
-                &self.sc.ch,
+            brute += self.edges.carrier_from_pair(
                 victim,
-                &CarrierSource {
-                    pos,
-                    rf: self.sc.ch.carrier_rf,
-                    relation: self.sc.arbitration.relation(p, qi),
-                },
+                self.devices.pos[self.pairs.tx[qi]],
+                self.devices.pos[self.pairs.rx[qi]],
+                self.sc.arbitration.relation(p, qi),
             );
         }
         if self.sc.far_field_cull {

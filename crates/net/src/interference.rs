@@ -21,7 +21,7 @@ use braidio_phy::surface::{shared_batch, BerModel};
 use braidio_radio::characterization::{Characterization, Rate, OPERATIONAL_BER};
 use braidio_radio::Mode;
 use braidio_rfsim::geometry::Point;
-use braidio_rfsim::pathloss::free_space_gain;
+use braidio_rfsim::pathloss::{free_space_gain, FsplMemo};
 use braidio_units::{BitsPerSecond, Meters, Watts};
 
 /// One foreign CW carrier, positioned in the room.
@@ -56,6 +56,143 @@ pub fn interference_at(ch: &Characterization, victim: Point, sources: &[CarrierS
         .iter()
         .map(|s| carrier_contribution(ch, victim, s))
         .sum()
+}
+
+/// Tile width for the batched edge sweep: endpoints are gathered into
+/// flat stack arrays of this many lanes before the kernel runs, and the
+/// FSPL memo is consulted once per tile instead of once per edge.
+pub const EDGE_TILE: usize = 64;
+
+/// The transcendental-starved interference edge kernel: everything
+/// constant in [`carrier_contribution`] hoisted out, everything
+/// distance-dependent memoized — **the one arithmetic definition** of a
+/// fleet interference edge, shared by the bulk wave sweep, the lazy
+/// dirty-sum path and the debug shadow check.
+///
+/// `carrier_contribution` pays one `log10` (FSPL) and four `powf`
+/// (`Decibels::linear`) per edge. Per characterization, three of those
+/// four dB figures — rx antenna gain, detector front-end loss, and the
+/// [`ChannelRelation`] coupling — are constants, and the FSPL term takes
+/// only O(N) distinct distances on a √N×√N grid. The kernel computes each
+/// constant's linear ratio **once**, by running the identical
+/// `Decibels::linear` conversion the direct path runs, and routes FSPL
+/// through an exact [`FsplMemo`], keeping the original four sequential
+/// multiplies in the original order — so every contribution it returns is
+/// bit-for-bit the [`carrier_contribution`] answer (the `net::baseline`
+/// oracle keeps the direct path precisely so the equality stays checked).
+#[derive(Debug)]
+pub struct EdgeKernel {
+    /// Foreign CW carrier power (every fleet interferer radiates
+    /// `Characterization::carrier_rf`).
+    rf: Watts,
+    /// `ch.budget.rx_antenna_gain.linear()`, cached bits.
+    rx_antenna_lin: f64,
+    /// `(-ch.budget.detector_frontend_loss).linear()`, cached bits.
+    frontend_inv_lin: f64,
+    /// `relation.noise_coupling().linear()` per relation, indexed by
+    /// [`ChannelRelation::index`].
+    coupling_lin: [f64; 3],
+    /// Exact FSPL memo at the characterization's carrier frequency.
+    fspl: FsplMemo,
+}
+
+impl EdgeKernel {
+    /// Build the kernel for one characterization, paying the four
+    /// `Decibels::linear` conversions once.
+    pub fn new(ch: &Characterization) -> Self {
+        EdgeKernel {
+            rf: ch.carrier_rf,
+            rx_antenna_lin: ch.budget.rx_antenna_gain.linear(),
+            frontend_inv_lin: (-ch.budget.detector_frontend_loss).linear(),
+            coupling_lin: ChannelRelation::ALL.map(|r| r.noise_coupling_linear()),
+            fspl: FsplMemo::new(ch.budget.frequency),
+        }
+    }
+
+    /// FSPL memo hits since construction (drives `net.fspl.hit`).
+    pub fn fspl_hits(&self) -> u64 {
+        self.fspl.hits()
+    }
+
+    /// FSPL memo misses (canonical evaluations) since construction.
+    pub fn fspl_misses(&self) -> u64 {
+        self.fspl.misses()
+    }
+
+    /// One carrier's contribution at a known source–victim distance:
+    /// `rf · fspl(d) · rx_antenna · frontend⁻¹ · coupling`, the exact
+    /// four-multiply chain of [`carrier_contribution`] with the constant
+    /// factors served from the cache and FSPL from the memo.
+    #[inline]
+    pub fn contribution_at_distance(&self, d: Meters, relation: ChannelRelation) -> Watts {
+        let (lin, hit) = self.fspl.lookup(d);
+        braidio_telemetry::count(if hit { "net.fspl.hit" } else { "net.fspl.miss" });
+        self.rf
+            .gained_linear(lin)
+            .gained_linear(self.rx_antenna_lin)
+            .gained_linear(self.frontend_inv_lin)
+            .gained_linear(self.coupling_lin[relation.index()])
+    }
+
+    /// A fleet pair's edge: the interfering pair's carrier radiates from
+    /// whichever of its endpoints `a`/`b` is nearer the victim (worst
+    /// case; ties keep `a`, matching the original `<=` selection), and the
+    /// selected distance is reused for the FSPL lookup — the same bits the
+    /// direct path gets from recomputing it, minus one `hypot`.
+    #[inline]
+    pub fn carrier_from_pair(
+        &self,
+        victim: Point,
+        a: Point,
+        b: Point,
+        relation: ChannelRelation,
+    ) -> Watts {
+        let da = a.distance(victim);
+        let db = b.distance(victim);
+        let d = if da <= db { da } else { db };
+        self.contribution_at_distance(d, relation)
+    }
+
+    /// A tile of edges against one victim: `out[i]` receives the
+    /// contribution of the pair with endpoints `(a[i], b[i])` and channel
+    /// relation `rel[i]`. At most [`EDGE_TILE`] lanes.
+    ///
+    /// Three flat passes — nearer-endpoint distances, one batched FSPL
+    /// lookup (a single memo-lock acquisition for the tile), then the
+    /// constant multiply chain — each lane bit-identical to
+    /// [`EdgeKernel::carrier_from_pair`]. The caller still owns the
+    /// noncoherent accumulation and must sum `out` serially in pair-index
+    /// order.
+    pub fn carrier_tile(
+        &self,
+        victim: Point,
+        a: &[Point],
+        b: &[Point],
+        rel: &[ChannelRelation],
+        out: &mut [Watts],
+    ) {
+        let n = out.len();
+        assert!(n <= EDGE_TILE, "tile of {n} exceeds EDGE_TILE");
+        assert!(a.len() == n && b.len() == n && rel.len() == n);
+        let mut ds = [Meters::new(0.0); EDGE_TILE];
+        for i in 0..n {
+            let da = a[i].distance(victim);
+            let db = b[i].distance(victim);
+            ds[i] = if da <= db { da } else { db };
+        }
+        let mut lin = [0.0f64; EDGE_TILE];
+        let (hits, misses) = self.fspl.linear_batch(&ds[..n], &mut lin[..n]);
+        braidio_telemetry::count_by("net.fspl.hit", hits);
+        braidio_telemetry::count_by("net.fspl.miss", misses);
+        for i in 0..n {
+            out[i] = self
+                .rf
+                .gained_linear(lin[i])
+                .gained_linear(self.rx_antenna_lin)
+                .gained_linear(self.frontend_inv_lin)
+                .gained_linear(self.coupling_lin[rel[i].index()]);
+        }
+    }
 }
 
 /// Victim SNR (linear) for a detector-based mode with `interference` folded
@@ -603,6 +740,76 @@ mod tests {
             let a = warmed.get(&ch, d, i, pin);
             let b = cold.get(&ch, d, i, pin);
             assert_eq!(&*a, &*b, "prefetch changed the answer at d={d}, i={i}");
+        }
+    }
+
+    #[test]
+    fn edge_kernel_matches_carrier_contribution_bitwise() {
+        // The memoized kernel must reproduce the direct transcendental
+        // path bit-for-bit: first visit (miss) and revisit (hit) alike,
+        // including the degenerate zero-distance edge.
+        let ch = ch();
+        let kernel = EdgeKernel::new(&ch);
+        let victim = Point::new(1.5, -2.0);
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.5, -2.0), // coincident with the victim
+            Point::new(3.0, 4.0),
+            Point::new(-7.25, 0.125),
+            Point::new(100.0, 100.0),
+        ];
+        for _round in 0..2 {
+            for &a in &pts {
+                for &b in &pts {
+                    for rel in ChannelRelation::ALL {
+                        let src = if a.distance(victim) <= b.distance(victim) {
+                            a
+                        } else {
+                            b
+                        };
+                        let direct = carrier_contribution(
+                            &ch,
+                            victim,
+                            &CarrierSource {
+                                pos: src,
+                                rf: ch.carrier_rf,
+                                relation: rel,
+                            },
+                        );
+                        let got = kernel.carrier_from_pair(victim, a, b, rel);
+                        assert_eq!(
+                            got.watts().to_bits(),
+                            direct.watts().to_bits(),
+                            "a={a:?} b={b:?} {rel:?}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(kernel.fspl_hits() > 0);
+    }
+
+    #[test]
+    fn edge_tile_matches_scalar_bitwise() {
+        let ch = ch();
+        let kernel = EdgeKernel::new(&ch);
+        let victim = Point::new(0.5, 0.5);
+        for n in [0, 1, 7, EDGE_TILE] {
+            let a: Vec<Point> = (0..n).map(|i| Point::new(i as f64 * 0.7, 1.0)).collect();
+            let b: Vec<Point> = (0..n)
+                .map(|i| Point::new(1.0, (n - i) as f64 * 0.3))
+                .collect();
+            let rel: Vec<ChannelRelation> = (0..n).map(|i| ChannelRelation::ALL[i % 3]).collect();
+            let mut out = vec![Watts::ZERO; n];
+            kernel.carrier_tile(victim, &a, &b, &rel, &mut out);
+            for i in 0..n {
+                let scalar = kernel.carrier_from_pair(victim, a[i], b[i], rel[i]);
+                assert_eq!(
+                    out[i].watts().to_bits(),
+                    scalar.watts().to_bits(),
+                    "lane {i} of {n}"
+                );
+            }
         }
     }
 

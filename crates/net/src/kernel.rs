@@ -88,8 +88,18 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue at `t = 0`.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue at `t = 0` with heap space for `cap` pending events.
+    ///
+    /// Sizing from the scenario (the fleet bring-up schedules up to two
+    /// events per pair before any drain) avoids repeated heap regrowth
+    /// mid-run; capacity is an allocation hint only and changes no
+    /// delivery order or timing semantics.
+    pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(cap),
             now: Seconds::ZERO,
             stamp: 0,
             delivered: 0,
@@ -256,6 +266,33 @@ mod tests {
     fn rejects_non_finite_time() {
         let mut q = EventQueue::new();
         q.schedule(Seconds::new(f64::NAN), 0, 0, ());
+    }
+
+    #[test]
+    fn with_capacity_reserves_without_changing_semantics() {
+        let mut q = EventQueue::with_capacity(16);
+        assert!(q.is_empty());
+        for i in 0..10u32 {
+            q.schedule(Seconds::new(1.0 + i as f64), 0, 0, i);
+        }
+        let events: Vec<u32> = drain(&mut q).into_iter().map(|e| e.3).collect();
+        assert_eq!(events, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn with_capacity_still_rejects_the_past() {
+        let mut q = EventQueue::with_capacity(8);
+        q.schedule(Seconds::new(5.0), 0, 0, ());
+        q.pop();
+        q.schedule(Seconds::new(1.0), 0, 0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn with_capacity_still_rejects_non_finite_time() {
+        let mut q = EventQueue::with_capacity(8);
+        q.schedule(Seconds::new(f64::INFINITY), 0, 0, ());
     }
 
     #[test]

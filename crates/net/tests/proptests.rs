@@ -1,8 +1,12 @@
-//! Property-based tests for the discrete-event kernel's ordering contract
-//! and the incremental interference cache's bitwise contract.
+//! Property-based tests for the discrete-event kernel's ordering contract,
+//! the incremental interference cache's bitwise contract, and the memoized
+//! edge kernel's bitwise equivalence to the direct transcendental path.
 
+use braidio_mac::coexistence::ChannelRelation;
 use braidio_net::cache::PairGainCache;
+use braidio_net::interference::{carrier_contribution, CarrierSource, EdgeKernel, EDGE_TILE};
 use braidio_net::EventQueue;
+use braidio_radio::characterization::Characterization;
 use braidio_rfsim::geometry::Point;
 use braidio_units::{Seconds, Watts};
 use proptest::prelude::*;
@@ -201,6 +205,145 @@ proptest! {
                 }
             }
             check(&mut cache, &eps, &live, &rel)?;
+        }
+    }
+}
+
+/// Uniform positions over a 200 m square — irregular distances, so memo
+/// keys are dense and distinct (the opposite of the grid's shared-distance
+/// structure).
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0f64..200.0, 0.0f64..200.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// Check every pair's kernel edge against the direct transcendental path,
+/// bit for bit. The kernel is stateful (its FSPL memo fills as distances
+/// are seen), so calling this repeatedly over evolving geometry exercises
+/// both the miss path (canonical evaluation) and the hit path (table load).
+fn assert_kernel_matches_direct(
+    kernel: &EdgeKernel,
+    ch: &Characterization,
+    victim: Point,
+    pairs: &[(Point, Point, ChannelRelation)],
+) -> Result<(), TestCaseError> {
+    for &(a, b, rel) in pairs {
+        let got = kernel.carrier_from_pair(victim, a, b, rel);
+        let pos = if a.distance(victim) <= b.distance(victim) {
+            a
+        } else {
+            b
+        };
+        let want = carrier_contribution(
+            ch,
+            victim,
+            &CarrierSource {
+                pos,
+                rf: ch.carrier_rf,
+                relation: rel,
+            },
+        );
+        prop_assert_eq!(
+            got.watts().to_bits(),
+            want.watts().to_bits(),
+            "kernel diverged at a={:?} b={:?} rel={:?}: {:?} vs {:?}",
+            a,
+            b,
+            rel,
+            got,
+            want
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole contract: the memoized edge kernel is bit-for-bit the
+    /// direct `carrier_contribution` path across random geometries,
+    /// quarter-meter mobility walks (which revisit distances, so later
+    /// rounds run almost entirely on memo hits), and relation changes.
+    #[test]
+    fn edge_kernel_is_bitwise_equal_to_direct_path(
+        victim in arb_point(),
+        raw in proptest::collection::vec((arb_point(), arb_point(), 0u8..3), 1..40),
+        walks in proptest::collection::vec((0usize..40, -4i8..5i8, -4i8..5i8), 0..16),
+    ) {
+        let ch = Characterization::braidio();
+        let kernel = EdgeKernel::new(&ch);
+        let mut pairs: Vec<(Point, Point, ChannelRelation)> = raw
+            .into_iter()
+            .map(|(a, b, r)| (a, b, ChannelRelation::ALL[r as usize]))
+            .collect();
+        assert_kernel_matches_direct(&kernel, &ch, victim, &pairs)?;
+        for (i, dx, dy) in walks {
+            let i = i % pairs.len();
+            let (a, b, rel) = pairs[i];
+            pairs[i] = (
+                Point::new(a.x + dx as f64 * 0.25, a.y + dy as f64 * 0.25),
+                Point::new(b.x + dy as f64 * 0.25, b.y + dx as f64 * 0.25),
+                ChannelRelation::ALL[(rel.index() + 1) % 3],
+            );
+            assert_kernel_matches_direct(&kernel, &ch, victim, &pairs)?;
+        }
+    }
+
+    /// Degenerate geometry: every endpoint at the same position (zero
+    /// distances everywhere, including victim-coincident sources). The
+    /// memo key is a single bit pattern; the kernel must still match the
+    /// direct path exactly, on the first (miss) and every later (hit) call.
+    #[test]
+    fn edge_kernel_survives_all_same_position(
+        p in arb_point(),
+        n in 1usize..20,
+        rounds in 1usize..4,
+    ) {
+        let ch = Characterization::braidio();
+        let kernel = EdgeKernel::new(&ch);
+        let pairs: Vec<(Point, Point, ChannelRelation)> = (0..n)
+            .map(|i| (p, p, ChannelRelation::ALL[i % 3]))
+            .collect();
+        for _ in 0..rounds {
+            assert_kernel_matches_direct(&kernel, &ch, p, &pairs)?;
+        }
+    }
+
+    /// The tiled sweep is lane-for-lane the scalar kernel: for any tile of
+    /// up to EDGE_TILE edges (duplicate distances included), `carrier_tile`
+    /// writes exactly the bits `carrier_from_pair` returns per lane.
+    #[test]
+    fn edge_tile_is_bitwise_equal_to_scalar_kernel(
+        victim in arb_point(),
+        raw in proptest::collection::vec((arb_point(), 0u8..3, any::<bool>()), 1..EDGE_TILE + 1),
+    ) {
+        let ch = Characterization::braidio();
+        let kernel = EdgeKernel::new(&ch);
+        let n = raw.len();
+        // `dup` folds an edge onto the first edge's endpoints, so tiles
+        // carry repeated distances and the batch path's in-tile duplicate
+        // handling (miss once, hit the rest) is exercised.
+        let first = raw[0].0;
+        let a: Vec<Point> = raw
+            .iter()
+            .map(|&(p, _, dup)| if dup { first } else { p })
+            .collect();
+        let b: Vec<Point> = raw
+            .iter()
+            .map(|&(p, _, _)| Point::new(p.x + 0.5, p.y))
+            .collect();
+        let rel: Vec<ChannelRelation> = raw
+            .iter()
+            .map(|&(_, r, _)| ChannelRelation::ALL[r as usize])
+            .collect();
+        let mut out = vec![Watts::new(0.0); n];
+        kernel.carrier_tile(victim, &a, &b, &rel, &mut out);
+        for i in 0..n {
+            let want = kernel.carrier_from_pair(victim, a[i], b[i], rel[i]);
+            prop_assert_eq!(
+                out[i].watts().to_bits(),
+                want.watts().to_bits(),
+                "lane {} diverged", i
+            );
         }
     }
 }

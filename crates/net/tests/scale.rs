@@ -112,6 +112,38 @@ fn cull_fires_and_stays_bitwise_on_dispersed_grid() {
 }
 
 #[test]
+fn fspl_memo_hit_rate_exceeds_99_percent_on_a_grid() {
+    // The memoized edge kernel's economic premise: a room grid reuses a
+    // small set of exact pairwise distances, so after the first planning
+    // wave nearly every FSPL evaluation is a table hit. 99% is the
+    // acceptance floor; a healthy grid run sits well above it. The
+    // counters are diagnostics (tile-dependent totals), so this asserts a
+    // ratio, never exact counts.
+    let sc =
+        grid(100, SPACING, Seconds::new(10.0), Arbitration::Uncoordinated).with_far_field_cull();
+    telemetry::set_enabled(true);
+    let r = run_fleet(&sc);
+    telemetry::set_enabled(false);
+    let counters = telemetry::counters_snapshot();
+    telemetry::take_events();
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    let (hits, misses) = (get("net.fspl.hit"), get("net.fspl.miss"));
+    assert!(r.total_bits() > 0.0, "no traffic — vacuous run");
+    assert!(hits + misses > 0, "kernel never consulted the memo");
+    let rate = hits as f64 / (hits + misses) as f64;
+    assert!(
+        rate > 0.99,
+        "fspl memo hit rate {rate:.4} ({hits} hits / {misses} misses) below the 99% floor"
+    );
+}
+
+#[test]
 fn hundred_twenty_eight_pairs_complete_under_every_policy() {
     // The acceptance rung: 128 pairs (256 devices) to the horizon under
     // all three arbitration policies, with the debug shadow check

@@ -12,6 +12,8 @@
 
 use braidio_units::{Decibels, Hertz, Meters};
 use core::f64::consts::PI;
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Minimum modelled separation. Friis is a far-field model; below roughly a
 /// wavelength it diverges, so the calculators clamp distance to this floor
@@ -34,6 +36,233 @@ pub fn free_space_gain(d: Meters, f: Hertz) -> Decibels {
 /// (`free_space_loss = -free_space_gain`).
 pub fn free_space_loss(d: Meters, f: Hertz) -> Decibels {
     -free_space_gain(d, f)
+}
+
+/// Sentinel for an empty slot in [`FsplMemo`]'s open-addressed table.
+/// `u64::MAX` is the bit pattern of a *negative* NaN, which no physical
+/// distance (`Point::distance` is a non-negative `hypot`) can produce; the
+/// lookup falls back to direct evaluation if it ever sees it.
+const FSPL_EMPTY_KEY: u64 = u64::MAX;
+
+/// Initial table capacity (slots). Power of two; grows by doubling at 50 %
+/// load. A √N×√N grid has O(N) distinct pair distances, so the steady-state
+/// table is tens of thousands of entries at the 10⁵-pair rung.
+const FSPL_INITIAL_CAP: usize = 1024;
+
+/// Open-addressed `u64 → f64` table with fibonacci hashing and linear
+/// probing. Hand-rolled because the memo sits on the interference hot path
+/// (~10¹⁰ lookups per large planning wave): a general-purpose `HashMap`
+/// with a DoS-resistant hasher costs more per hit than the `log10`+`powf`
+/// it saves at small scales.
+struct FsplTable {
+    keys: Vec<u64>,
+    vals: Vec<f64>,
+    len: usize,
+}
+
+impl FsplTable {
+    fn with_capacity(cap: usize) -> Self {
+        debug_assert!(cap.is_power_of_two());
+        FsplTable {
+            keys: vec![FSPL_EMPTY_KEY; cap],
+            vals: vec![0.0; cap],
+            len: 0,
+        }
+    }
+
+    /// Slot of `key`, or of the empty slot where it would be inserted.
+    #[inline]
+    fn slot(&self, key: u64) -> usize {
+        let mask = self.keys.len() - 1;
+        let mut i = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask;
+        loop {
+            let k = self.keys[i];
+            if k == key || k == FSPL_EMPTY_KEY {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    #[inline]
+    fn get(&self, key: u64) -> Option<f64> {
+        let i = self.slot(key);
+        if self.keys[i] == key {
+            Some(self.vals[i])
+        } else {
+            None
+        }
+    }
+
+    fn insert(&mut self, key: u64, val: f64) {
+        if (self.len + 1) * 2 > self.keys.len() {
+            let mut bigger = FsplTable::with_capacity(self.keys.len() * 2);
+            for (k, v) in self.keys.iter().zip(&self.vals) {
+                if *k != FSPL_EMPTY_KEY {
+                    bigger.insert(*k, *v);
+                }
+            }
+            *self = bigger;
+        }
+        let i = self.slot(key);
+        if self.keys[i] != key {
+            self.keys[i] = key;
+            self.vals[i] = val;
+            self.len += 1;
+        }
+    }
+}
+
+/// An exact free-space-path-loss memo: `distance.to_bits() → linear gain`.
+///
+/// The interference edge kernel evaluates [`free_space_gain`] followed by
+/// `Decibels::linear` — one `log10` and one `powf` — per edge, but a
+/// √N×√N grid only realizes O(N) distinct distances, so at 10⁴–10⁵ pairs
+/// upwards of 99.99 % of those transcendental evaluations are repeats.
+/// This memo collapses them: a **miss** runs the canonical
+/// `free_space_gain(d, f).linear()` evaluation and stores the result; a
+/// **hit** returns the stored `f64`, bit-identical to what the canonical
+/// evaluation would produce for the same input bits. Keys are the *raw*
+/// distance bits (the canonical evaluation applies the near-field floor
+/// itself), so the memo is a pure function of its key and never needs
+/// invalidation — mobility, death and relation changes are all just new or
+/// repeated keys.
+///
+/// Thread-safe: lookups take a read lock, misses a write lock. Concurrent
+/// duplicate misses insert identical bits, so races are benign and results
+/// stay independent of thread count. Hit/miss counters (relaxed atomics)
+/// feed the `net.fspl.{hit,miss}` telemetry and the bench report.
+pub struct FsplMemo {
+    f: Hertz,
+    table: RwLock<FsplTable>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FsplMemo {
+    /// An empty memo for carriers at frequency `f`.
+    pub fn new(f: Hertz) -> Self {
+        FsplMemo {
+            f,
+            table: RwLock::new(FsplTable::with_capacity(FSPL_INITIAL_CAP)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The carrier frequency the memo was built for.
+    pub fn frequency(&self) -> Hertz {
+        self.f
+    }
+
+    /// `free_space_gain(d, f).linear()`, memoized exactly.
+    #[inline]
+    pub fn linear(&self, d: Meters) -> f64 {
+        self.lookup(d).0
+    }
+
+    /// [`FsplMemo::linear`] plus whether the lookup was a hit — callers
+    /// that keep their own hit/miss telemetry use this form.
+    #[inline]
+    pub fn lookup(&self, d: Meters) -> (f64, bool) {
+        let key = d.meters().to_bits();
+        if key != FSPL_EMPTY_KEY {
+            if let Some(v) = self.table.read().expect("fspl memo poisoned").get(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (v, true);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = free_space_gain(d, self.f).linear();
+        if key != FSPL_EMPTY_KEY {
+            self.table
+                .write()
+                .expect("fspl memo poisoned")
+                .insert(key, v);
+        }
+        (v, false)
+    }
+
+    /// Memoized lookup for a whole tile of distances: `out[i]` receives the
+    /// linear gain for `ds[i]`. Returns `(hits, misses)` for this call.
+    ///
+    /// Identical results to calling [`FsplMemo::linear`] per element; the
+    /// point is one read-lock acquisition per tile instead of one per edge,
+    /// which is where the tiled sweep actually earns its keep.
+    pub fn linear_batch(&self, ds: &[Meters], out: &mut [f64]) -> (u64, u64) {
+        assert_eq!(ds.len(), out.len());
+        let mut miss_at = [0usize; 64];
+        let mut nmiss = 0usize;
+        let mut extra_misses: Vec<usize> = Vec::new();
+        {
+            let table = self.table.read().expect("fspl memo poisoned");
+            for (i, d) in ds.iter().enumerate() {
+                let key = d.meters().to_bits();
+                match if key == FSPL_EMPTY_KEY {
+                    None
+                } else {
+                    table.get(key)
+                } {
+                    Some(v) => out[i] = v,
+                    None => {
+                        if nmiss < miss_at.len() {
+                            miss_at[nmiss] = i;
+                        } else {
+                            extra_misses.push(i);
+                        }
+                        nmiss += 1;
+                    }
+                }
+            }
+        }
+        let hits = (ds.len() - nmiss) as u64;
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        if nmiss > 0 {
+            self.misses.fetch_add(nmiss as u64, Ordering::Relaxed);
+            let mut table = self.table.write().expect("fspl memo poisoned");
+            let fixed = nmiss.min(miss_at.len());
+            for &i in miss_at[..fixed].iter().chain(extra_misses.iter()) {
+                let v = free_space_gain(ds[i], self.f).linear();
+                out[i] = v;
+                let key = ds[i].meters().to_bits();
+                if key != FSPL_EMPTY_KEY {
+                    table.insert(key, v);
+                }
+            }
+        }
+        (hits, nmiss as u64)
+    }
+
+    /// Total lookup hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookup misses (canonical evaluations) since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct distances resident in the table.
+    pub fn len(&self) -> usize {
+        self.table.read().expect("fspl memo poisoned").len
+    }
+
+    /// True if no distance has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl core::fmt::Debug for FsplMemo {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FsplMemo")
+            .field("f", &self.f)
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
 }
 
 /// Parameters of a backscatter (two-way) budget.
@@ -232,5 +461,67 @@ mod tests {
         let n2 = log_distance_gain(d, F, 2.0);
         let n3 = log_distance_gain(d, F, 3.0);
         assert!(n3 < n2);
+    }
+
+    #[test]
+    fn fspl_memo_is_bitwise_exact() {
+        let memo = FsplMemo::new(F);
+        // Sweep including the degenerate cases: zero, below the near-field
+        // floor, exactly on it, and repeats of every value (hit path).
+        let ds = [0.0, 0.001, 0.05, 0.3, 1.0, 2.5, 3.0, 17.25, 424.2];
+        for _ in 0..3 {
+            for &d in &ds {
+                let got = memo.linear(Meters::new(d));
+                let want = free_space_gain(Meters::new(d), F).linear();
+                assert_eq!(got.to_bits(), want.to_bits(), "d={d}");
+            }
+        }
+        assert_eq!(memo.misses(), ds.len() as u64);
+        assert_eq!(memo.hits(), 2 * ds.len() as u64);
+        assert_eq!(memo.len(), ds.len());
+    }
+
+    #[test]
+    fn fspl_memo_batch_matches_scalar_bitwise() {
+        let scalar = FsplMemo::new(F);
+        let batch = FsplMemo::new(F);
+        // Two rounds over a tile with in-tile duplicates: round one is all
+        // misses, round two all hits.
+        let ds: Vec<Meters> = (0..100)
+            .map(|i| Meters::new(0.25 * (i % 37) as f64))
+            .collect();
+        for _ in 0..2 {
+            let mut out = vec![0.0; ds.len()];
+            let (h, m) = batch.linear_batch(&ds, &mut out);
+            assert_eq!(h + m, ds.len() as u64);
+            for (d, got) in ds.iter().zip(&out) {
+                assert_eq!(got.to_bits(), scalar.linear(*d).to_bits(), "{d:?}");
+            }
+        }
+        assert_eq!(batch.hits() + batch.misses(), 2 * ds.len() as u64);
+        // 37 distinct distances, the rest hits.
+        assert_eq!(batch.len(), 37);
+        assert_eq!(batch.misses(), 100); // round one: in-tile duplicates all miss
+    }
+
+    #[test]
+    fn fspl_memo_survives_table_growth() {
+        let memo = FsplMemo::new(F);
+        // More distinct keys than the initial capacity can hold at 50 %
+        // load: forces several rehashes, and every value must survive them.
+        let n = 4096;
+        for i in 0..n {
+            let _ = memo.linear(Meters::new(0.01 * i as f64));
+        }
+        assert_eq!(memo.len(), n);
+        for i in 0..n {
+            let d = Meters::new(0.01 * i as f64);
+            assert_eq!(
+                memo.linear(d).to_bits(),
+                free_space_gain(d, F).linear().to_bits()
+            );
+        }
+        assert_eq!(memo.misses(), n as u64);
+        assert_eq!(memo.hits(), n as u64);
     }
 }

@@ -169,6 +169,11 @@ fn emit_slow(event: Event) {
 ///   economics and far-field cull decisions (`braidio-net::cache`).
 /// * `net.options.memo_hit` / `memo_miss` — the quantized
 ///   `options_under` memo.
+/// * `net.fspl.hit` / `net.fspl.miss` — the exact free-space-path-loss
+///   memo on the interference edge kernel (`braidio-rfsim::pathloss`,
+///   counted by `braidio-net::interference`). Totals are tile- and
+///   thread-count-dependent (concurrent first lookups may both miss);
+///   they are diagnostics, not part of the byte-identity contract.
 /// * `mac.offload.memo_hit` / `memo_miss` — the offload-plan memo
 ///   (interleaving-dependent: counters only, never trace events).
 #[inline]
@@ -178,6 +183,19 @@ pub fn count(name: &'static str) {
     }
     LOCAL.with(|l| {
         *l.borrow_mut().counters.entry(name).or_insert(0) += 1;
+    });
+}
+
+/// Bump a named counter by `n` in one touch — the batched form of
+/// [`count`], for hot loops that already know their tile's tally. Same
+/// vocabulary rules; `count_by(name, 1)` ≡ `count(name)`.
+#[inline]
+pub fn count_by(name: &'static str, n: u64) {
+    if n == 0 || !active() {
+        return;
+    }
+    LOCAL.with(|l| {
+        *l.borrow_mut().counters.entry(name).or_insert(0) += n;
     });
 }
 

@@ -46,9 +46,9 @@ pub mod span;
 pub mod timeseries;
 
 pub use bus::{
-    active, begin_unit, count, counters_snapshot, drain_thread, emit, enabled, events_snapshot,
-    inject, profiling, run_base, set_enabled, set_profiling, set_run_base, spans_snapshot,
-    take_events, take_spans, with_run, Batch,
+    active, begin_unit, count, count_by, counters_snapshot, drain_thread, emit, enabled,
+    events_snapshot, inject, profiling, run_base, set_enabled, set_profiling, set_run_base,
+    spans_snapshot, take_events, take_spans, with_run, Batch,
 };
 pub use event::{DeathReason, Event, ModeTag, PhaseTag, RateTag, Stamped, Track};
 pub use span::{span, Span, SpanRecord, MAX_SPAN_DEPTH};
